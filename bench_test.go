@@ -1,0 +1,247 @@
+package capybara
+
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md's
+// per-experiment index). The interesting output is the custom metrics:
+// each benchmark reports the headline quantity of its figure so that
+// `go test -bench=.` doubles as a reproduction run. The rendered tables
+// come from cmd/capybench.
+
+import (
+	"testing"
+
+	"capybara/internal/core"
+	"capybara/internal/experiments"
+)
+
+// BenchmarkFigure2 regenerates the fixed-capacity trade-off traces.
+func BenchmarkFigure2(b *testing.B) {
+	var packets int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = r.HighPackets
+	}
+	b.ReportMetric(float64(packets), "high-cap-packets")
+}
+
+// BenchmarkFigure3 regenerates the atomicity-vs-capacitance sweep.
+func BenchmarkFigure3(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure3()
+		last = points[len(points)-1].Mops
+	}
+	b.ReportMetric(last, "Mops@20mF")
+}
+
+// BenchmarkFigure4 regenerates the atomicity-vs-volume sweep.
+func BenchmarkFigure4(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(experiments.Figure4())
+	}
+	b.ReportMetric(float64(n), "sweep-points")
+}
+
+func matrix(b *testing.B) *experiments.Matrix {
+	b.Helper()
+	m, err := experiments.RunMatrix(experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFigure8 regenerates the event-detection-accuracy grid. The
+// reported metrics are the headline comparison: Capy-P vs Fixed
+// accuracy averaged over the four applications.
+func BenchmarkFigure8(b *testing.B) {
+	var capy, fixed float64
+	for i := 0; i < b.N; i++ {
+		m := matrix(b)
+		capy, fixed = 0, 0
+		n := 0.0
+		for _, byVariant := range m.Runs {
+			capy += byVariant[core.CapyP].Accuracy().FractionCorrect()
+			fixed += byVariant[core.Fixed].Accuracy().FractionCorrect()
+			n++
+		}
+		capy /= n
+		fixed /= n
+	}
+	b.ReportMetric(capy, "capyP-accuracy")
+	b.ReportMetric(fixed, "fixed-accuracy")
+	b.ReportMetric(capy/fixed, "improvement-x")
+}
+
+// BenchmarkFigure9 regenerates the report-latency grid; the metric is
+// the TempAlarm critical-path cost of Capy-R vs Capy-P.
+func BenchmarkFigure9(b *testing.B) {
+	var r, p float64
+	for i := 0; i < b.N; i++ {
+		m := matrix(b)
+		ta := m.Runs["TempAlarm"]
+		r = float64(ta[core.CapyR].Latency().Median)
+		p = float64(ta[core.CapyP].Latency().Median)
+	}
+	b.ReportMetric(r, "capyR-median-s")
+	b.ReportMetric(p, "capyP-median-s")
+}
+
+// BenchmarkFigure10TempAlarm regenerates the TA inter-arrival
+// sensitivity sweep.
+func BenchmarkFigure10TempAlarm(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure10(experiments.TASensitivity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(points)
+	}
+	b.ReportMetric(float64(pts), "points")
+}
+
+// BenchmarkFigure10Gesture regenerates the GRC inter-arrival
+// sensitivity sweep.
+func BenchmarkFigure10Gesture(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure10(experiments.GRCSensitivity())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(points)
+	}
+	b.ReportMetric(float64(pts), "points")
+}
+
+// BenchmarkFigure11 regenerates the inter-sample distribution analysis.
+func BenchmarkFigure11(b *testing.B) {
+	var fixedGaps int
+	for i := 0; i < b.N; i++ {
+		m := matrix(b)
+		fixedGaps = len(m.Runs["TempAlarm"][core.Fixed].Gaps())
+	}
+	b.ReportMetric(float64(fixedGaps), "fixed-gaps")
+}
+
+// BenchmarkMechanisms regenerates the §5.2 mechanism comparison.
+func BenchmarkMechanisms(b *testing.B) {
+	var coldStart float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Mechanisms()
+		coldStart = float64(rows[0].ColdStart)
+	}
+	b.ReportMetric(coldStart, "switchedC-coldstart-s")
+}
+
+// BenchmarkCharacterization regenerates the §6.5 hardware table.
+func BenchmarkCharacterization(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Characterization().Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkCapySat regenerates the §6.6 case study (two orbits).
+func BenchmarkCapySat(b *testing.B) {
+	var packets int
+	for i := 0; i < b.N; i++ {
+		s := experiments.CapySat(2)
+		packets = s.Mission.Packets
+	}
+	b.ReportMetric(float64(packets), "packets")
+}
+
+// BenchmarkAblationBypass measures the bypass diode's charge-time win.
+func BenchmarkAblationBypass(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = experiments.AblateBypass().Speedup
+	}
+	b.ReportMetric(speedup, "speedup-x")
+}
+
+// BenchmarkAblationSwitchDefault measures NO vs NC recovery.
+func BenchmarkAblationSwitchDefault(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.AblateSwitchDefault())
+	}
+	b.ReportMetric(float64(rows), "variants")
+}
+
+// BenchmarkAblationESR measures the ESR-stranding sweep.
+func BenchmarkAblationESR(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.AblateESR())
+	}
+	b.ReportMetric(float64(rows), "points")
+}
+
+// BenchmarkAblationDeficit measures the pre-charge deficit sweep.
+func BenchmarkAblationDeficit(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateDeficit()
+		for _, r := range rows {
+			if r.Deficit == 0.3 {
+				loss = r.LossVsTop
+			}
+		}
+	}
+	b.ReportMetric(loss, "loss@0.3V")
+}
+
+// BenchmarkRelatedFederated compares UFoP-style federation against
+// reconfigurable banks (§7).
+func BenchmarkRelatedFederated(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Federated()
+		ratio = float64(r.MaxAtomicGanged) / float64(r.MaxAtomicFederated)
+	}
+	b.ReportMetric(ratio, "ganged-vs-federated-x")
+}
+
+// BenchmarkRelatedCheckpointing compares the checkpointing discipline
+// against task restart (§7).
+func BenchmarkRelatedCheckpointing(b *testing.B) {
+	var wasted float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Checkpointing()
+		wasted = r.CoarseTask.ReexecutedOps / 1e6
+	}
+	b.ReportMetric(wasted, "coarse-waste-Mops")
+}
+
+// BenchmarkAblationSleep measures the sleep-between-samples ablation.
+func BenchmarkAblationSleep(b *testing.B) {
+	var maxGap float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblateSleep()
+		maxGap = float64(rows[len(rows)-1].MaxGap)
+	}
+	b.ReportMetric(maxGap, "max-gap-s")
+}
+
+// BenchmarkMultiSeed aggregates Fig. 8 accuracy across 3 independent
+// event sequences.
+func BenchmarkMultiSeed(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MultiSeed("TempAlarm",
+			[]core.Variant{core.Fixed, core.CapyP}, experiments.DefaultSeeds(3), 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = rows[1].Min - rows[0].Max
+	}
+	b.ReportMetric(spread, "capyP-min-minus-fixed-max")
+}

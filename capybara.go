@@ -1,0 +1,245 @@
+// Package capybara is a simulation-backed reimplementation of
+// Capybara, the reconfigurable energy storage architecture for
+// battery-free energy-harvesting devices (Colin, Ruppel, Lucia —
+// ASPLOS 2018).
+//
+// The package is a facade over the implementation packages under
+// internal/: it exposes the task-based programming interface with
+// energy-mode annotations (config / burst / preburst), the runtime
+// variants the paper evaluates (continuous power, fixed capacity,
+// Capy-R, Capy-P), the capacitor/bank/harvester models needed to
+// provision a platform, and the simulator that executes applications
+// on harvested energy.
+//
+// A minimal application:
+//
+//	prog := capybara.MustProgram("sense",
+//	    &capybara.Task{Name: "sense", Config: "small", Run: sense},
+//	    &capybara.Task{Name: "alert", Burst: "big", Run: alert},
+//	)
+//	inst, err := capybara.New(capybara.Config{
+//	    Variant:    capybara.CapyP,
+//	    Source:     capybara.RegulatedSupply{Max: 2 * capybara.MilliWatt, V: 3},
+//	    MCU:        capybara.MSP430FR5969(),
+//	    Base:       smallBank,
+//	    Switched:   []*capybara.Bank{bigBank},
+//	    SwitchKind: capybara.NormallyOpen,
+//	    Modes: []capybara.Mode{
+//	        {Name: "small", Mask: 0b001},
+//	        {Name: "big", Mask: 0b010},
+//	    },
+//	}, prog)
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package capybara
+
+import (
+	"capybara/internal/core"
+	"capybara/internal/device"
+	"capybara/internal/env"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/sim"
+	"capybara/internal/storage"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// Physical quantities (SI units; see internal/units).
+type (
+	Voltage     = units.Voltage
+	Current     = units.Current
+	Capacitance = units.Capacitance
+	Energy      = units.Energy
+	Power       = units.Power
+	Resistance  = units.Resistance
+	Volume      = units.Volume
+	Seconds     = units.Seconds
+)
+
+// Common magnitudes.
+const (
+	MicroFarad  = units.MicroFarad
+	MilliFarad  = units.MilliFarad
+	MicroWatt   = units.MicroWatt
+	MilliWatt   = units.MilliWatt
+	MilliJoule  = units.MilliJoule
+	Millisecond = units.Millisecond
+	Minute      = units.Minute
+)
+
+// Energy storage: capacitor technologies and banks.
+type (
+	Technology = storage.Technology
+	Group      = storage.Group
+	Bank       = storage.Bank
+)
+
+// The built-in capacitor technology catalog.
+var (
+	CeramicX5R       = storage.CeramicX5R
+	Tantalum         = storage.Tantalum
+	SupercapCPH3225A = storage.SupercapCPH3225A
+	EDLC             = storage.EDLC
+)
+
+// NewBank builds a named bank from parallel groups of capacitors.
+func NewBank(name string, groups ...Group) (*Bank, error) {
+	return storage.NewBank(name, groups...)
+}
+
+// MustBank is NewBank for static configurations.
+func MustBank(name string, groups ...Group) *Bank {
+	return storage.MustBank(name, groups...)
+}
+
+// GroupOf builds a parallel group of n units of tech.
+func GroupOf(tech Technology, n int) Group { return storage.GroupOf(tech, n) }
+
+// GroupFor builds the smallest group of tech units totalling at least c.
+func GroupFor(tech Technology, c Capacitance) Group { return storage.GroupFor(tech, c) }
+
+// Harvesters.
+type (
+	Source          = harvest.Source
+	RegulatedSupply = harvest.RegulatedSupply
+	SolarPanel      = harvest.SolarPanel
+	PVPanel         = harvest.PVPanel
+	RFHarvester     = harvest.RFHarvester
+	Limiter         = harvest.Limiter
+	LightTrace      = harvest.Trace
+)
+
+// Trace constructors.
+var (
+	ConstantTrace = harvest.ConstantTrace
+	PWMTrace      = harvest.PWMTrace
+	DiurnalTrace  = harvest.DiurnalTrace
+	BlackoutTrace = harvest.BlackoutTrace
+)
+
+// Loads: MCU, peripherals, radio.
+type (
+	MCU        = device.MCU
+	Peripheral = device.Peripheral
+	Radio      = device.Radio
+)
+
+// The built-in load catalog.
+var (
+	MSP430FR5969    = device.MSP430FR5969
+	Phototransistor = device.Phototransistor
+	APDS9960        = device.APDS9960
+	TMP36           = device.TMP36
+	Magnetometer    = device.Magnetometer
+	ProximitySensor = device.ProximitySensor
+	LED             = device.LED
+	CC2650          = device.CC2650
+)
+
+// Reconfigurable reservoir.
+type SwitchKind = reservoir.SwitchKind
+
+// Switch defaults.
+const (
+	NormallyOpen   = reservoir.NormallyOpen
+	NormallyClosed = reservoir.NormallyClosed
+)
+
+// PrechargeDeficit is how far below a direct charge the switch circuit
+// can pre-charge a bank (paper §6.4).
+const PrechargeDeficit = reservoir.PrechargeDeficit
+
+// Programming interface: tasks, programs, execution context.
+type (
+	Task       = task.Task
+	Program    = task.Program
+	Ctx        = task.Ctx
+	Next       = task.Next
+	EnergyMode = task.EnergyMode
+)
+
+// Halt ends a program.
+const Halt = task.Halt
+
+// NewProgram validates and assembles a task program.
+func NewProgram(entry string, tasks ...*Task) (*Program, error) {
+	return task.NewProgram(entry, tasks...)
+}
+
+// MustProgram is NewProgram for statically-known programs.
+func MustProgram(entry string, tasks ...*Task) *Program {
+	return task.MustProgram(entry, tasks...)
+}
+
+// Runtime: modes, variants, platform configuration.
+type (
+	Mode     = core.Mode
+	Config   = core.Config
+	Instance = core.Instance
+	Variant  = core.Variant
+	Runtime  = core.Runtime
+)
+
+// The paper's four evaluation systems.
+const (
+	Continuous = core.Continuous
+	Fixed      = core.Fixed
+	CapyR      = core.CapyR
+	CapyP      = core.CapyP
+)
+
+// DefaultVTop is the default charge-complete voltage of a mode.
+const DefaultVTop = core.DefaultVTop
+
+// New builds a runnable platform instance executing prog.
+func New(cfg Config, prog *Program) (*Instance, error) {
+	return core.New(cfg, prog)
+}
+
+// Provision finds the smallest bank of tech units that sustains a load
+// for a duration — the paper's §3 grow-until-it-completes methodology.
+var Provision = core.Provision
+
+// Derate over-provisions a group by a margin for capacitor aging.
+var Derate = core.Derate
+
+// Planning and measurement: the paper's §8 future work (automatic
+// capacity estimation and bank allocation) and the §3 measurement
+// harness that feeds it.
+type (
+	TaskDemand  = core.TaskDemand
+	Plan        = core.Plan
+	Measurement = core.Measurement
+)
+
+// PlanModes derives a bank array and mode table from task demands.
+var PlanModes = core.PlanModes
+
+// MeasureProgram profiles a program's tasks on continuous power.
+var MeasureProgram = core.MeasureProgram
+
+// PlanFromProfiles turns measurements into a plan.
+var PlanFromProfiles = core.PlanFromProfiles
+
+// PowerSystem is the power distribution circuit: the input booster
+// with its cold-start and bypass paths plus the regulated output
+// booster (paper §5.1).
+type PowerSystem = power.System
+
+// NewPowerSystem wires a harvester to the default boosters.
+func NewPowerSystem(src Source) *PowerSystem { return power.NewSystem(src) }
+
+// Simulation and environment helpers for building experiments.
+type (
+	Trace    = sim.Trace
+	Device   = sim.Device
+	EventLog = sim.EventLog
+	Schedule = env.Schedule
+	Event    = env.Event
+)
+
+// Poisson draws a deterministic event schedule.
+var Poisson = env.Poisson

@@ -1,0 +1,159 @@
+package capybara
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: provision banks, declare modes, write a two-task
+// program with a preburst/burst pair, and run it on harvested energy.
+func TestFacadeEndToEnd(t *testing.T) {
+	small := MustBank("small",
+		GroupFor(CeramicX5R, 400*MicroFarad),
+		GroupFor(Tantalum, 330*MicroFarad))
+	big := MustBank("big", GroupOf(EDLC, 6))
+
+	radio := CC2650()
+	alerts := 0
+	prog := MustProgram("sense",
+		&Task{
+			Name:          "sense",
+			PreburstBurst: "big",
+			PreburstExec:  "small",
+			Run: func(c *Ctx) Next {
+				c.Compute(10_000)
+				if c.WordOr("rounds", 0) >= 3 {
+					return "alert"
+				}
+				c.SetWord("rounds", c.WordOr("rounds", 0)+1)
+				return "sense"
+			},
+		},
+		&Task{
+			Name:  "alert",
+			Burst: "big",
+			Run: func(c *Ctx) Next {
+				c.Transmit(radio, 25)
+				alerts++
+				return Halt
+			},
+		},
+	)
+
+	inst, err := New(Config{
+		Variant:    CapyP,
+		Source:     RegulatedSupply{Max: 2 * MilliWatt, V: 3.0},
+		MCU:        MSP430FR5969(),
+		Base:       small,
+		Switched:   []*Bank{big},
+		SwitchKind: NormallyOpen,
+		Modes: []Mode{
+			{Name: "small", Mask: 0b001},
+			{Name: "big", Mask: 0b010},
+		},
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Run(10 * Minute); err != nil {
+		t.Fatal(err)
+	}
+	if alerts != 1 {
+		t.Fatalf("alerts = %d, want 1", alerts)
+	}
+	if inst.Runtime.Precharges == 0 {
+		t.Fatal("preburst never pre-charged")
+	}
+	if inst.Dev.Stats.Boots == 0 {
+		t.Fatal("device never booted")
+	}
+}
+
+// TestFacadeProvision exercises the provisioning helpers through the
+// facade.
+func TestFacadeProvision(t *testing.T) {
+	// Provision is re-exported; a trivial compute task needs at least
+	// one unit.
+	g := GroupFor(Tantalum, 500*MicroFarad)
+	if g.Count != 2 {
+		t.Fatalf("GroupFor(500µF tantalum) = %d units, want 2", g.Count)
+	}
+	d := Derate(g, 0.2)
+	if d.Count <= g.Count {
+		t.Fatal("Derate did not grow the group")
+	}
+}
+
+// TestFacadeCatalog spot-checks the re-exported catalogs.
+func TestFacadeCatalog(t *testing.T) {
+	if CeramicX5R.Name == "" || EDLC.Name == "" {
+		t.Fatal("technology catalog broken")
+	}
+	if MSP430FR5969().Name != "MSP430FR5969" {
+		t.Fatal("MCU catalog broken")
+	}
+	if CC2650().Name != "CC2650" {
+		t.Fatal("radio catalog broken")
+	}
+	if PrechargeDeficit != 0.3 {
+		t.Fatalf("PrechargeDeficit = %v", PrechargeDeficit)
+	}
+	for _, v := range []Variant{Continuous, Fixed, CapyR, CapyP} {
+		if v.String() == "" {
+			t.Fatal("variant stringer broken")
+		}
+	}
+}
+
+// TestFacadeHarvestAndSchedule exercises the harvester and schedule
+// exports.
+func TestFacadeHarvestAndSchedule(t *testing.T) {
+	panel := SolarPanel{
+		PeakPower:          5 * MilliWatt,
+		OpenCircuitVoltage: 2.0,
+		Series:             2,
+		Light:              PWMTrace(0.5, 1),
+	}
+	if panel.PowerAt(0.25) != 10*MilliWatt {
+		t.Fatalf("panel power = %v", panel.PowerAt(0.25))
+	}
+	lim := Limiter{Source: panel, Max: 3.5}
+	if lim.VoltageAt(0.25) > 3.5 {
+		t.Fatal("limiter did not clamp")
+	}
+	blk := BlackoutTrace(ConstantTrace(1), [2]Seconds{5, 10})
+	if blk(7) != 0 || blk(20) != 1 {
+		t.Fatal("blackout trace wrong")
+	}
+	if DiurnalTrace(Minute)(Minute/4) < 0.99 {
+		t.Fatal("diurnal trace wrong")
+	}
+
+	sched := Poisson(newRand(3), 10, 30, 1)
+	if len(sched.Events) != 10 {
+		t.Fatalf("schedule events = %d", len(sched.Events))
+	}
+	if _, ok := sched.ActiveAt(sched.Events[0].At); !ok {
+		t.Fatal("ActiveAt broken through facade")
+	}
+}
+
+// TestFacadeBankPhysics spot-checks storage exports.
+func TestFacadeBankPhysics(t *testing.T) {
+	b := MustBank("b", GroupOf(SupercapCPH3225A, 2))
+	if b.Capacitance() != 22*MilliFarad {
+		t.Fatalf("capacitance = %v", b.Capacitance())
+	}
+	if b.ESR() != 80 {
+		t.Fatalf("ESR = %v", b.ESR())
+	}
+	if _, err := NewBank("empty"); err == nil {
+		t.Fatal("empty bank accepted")
+	}
+	if RFHarvester(RFHarvester{TransmitPower: 3, Distance: 1, Efficiency: 0.5}).PowerAt(0) <= 0 {
+		t.Fatal("RF harvester broken")
+	}
+}
+
+func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

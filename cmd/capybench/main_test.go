@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestSlugify(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Figure 8 — event detection accuracy", "figure-8-event-detection-accuracy"},
+		{"§5.2 — reconfiguration mechanism comparison", "52-reconfiguration-mechanism-comparison"},
+		{"---weird---", "weird"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := slugify(tt.in); got != tt.want {
+			t.Errorf("slugify(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run("zzz", 1, false, 1, false, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunFastFigures(t *testing.T) {
+	// The cheap figures run end-to-end (stdout noise is fine in tests).
+	for _, fig := range []string{"3", "4", "mech", "char"} {
+		if err := run(fig, 1, true, 1, false, t.TempDir()); err != nil {
+			t.Errorf("run(%s): %v", fig, err)
+		}
+	}
+}

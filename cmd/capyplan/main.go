@@ -1,0 +1,108 @@
+// Capyplan runs the paper's §8 future work: given a set of task energy
+// demands, it derives a capacitor bank array and a mode table
+// automatically (capacity estimation + bank allocation).
+//
+// Usage:
+//
+//	capyplan -supply 2 [-tech EDLC] [-vtop 2.4] \
+//	    -task sample:2.1:0.01:10 -task alarm:29:0.14::reactive
+//
+// Each -task is name:load_mW:duration_s[:max_recharge_s][:reactive].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"capybara/internal/core"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+type taskFlags []core.TaskDemand
+
+func (t *taskFlags) String() string { return fmt.Sprint(len(*t), " tasks") }
+
+func (t *taskFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 {
+		return fmt.Errorf("want name:load_mW:duration_s[:max_recharge_s][:reactive], got %q", s)
+	}
+	load, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad load %q: %w", parts[1], err)
+	}
+	dur, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad duration %q: %w", parts[2], err)
+	}
+	d := core.TaskDemand{
+		Name:     parts[0],
+		Load:     units.Power(load) * units.MilliWatt,
+		Duration: units.Seconds(dur),
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		mr, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad max recharge %q: %w", parts[3], err)
+		}
+		d.MaxRecharge = units.Seconds(mr)
+	}
+	if len(parts) > 4 && parts[4] == "reactive" {
+		d.Reactive = true
+	}
+	*t = append(*t, d)
+	return nil
+}
+
+func main() {
+	var tasks taskFlags
+	flag.Var(&tasks, "task", "task demand as name:load_mW:duration_s[:max_recharge_s][:reactive] (repeatable)")
+	supply := flag.Float64("supply", 2.0, "harvester power in mW")
+	techName := flag.String("tech", "EDLC", "capacitor technology for the banks")
+	vtop := flag.Float64("vtop", float64(core.DefaultVTop), "charge-complete voltage")
+	flag.Parse()
+
+	if err := run(tasks, *supply, *techName, *vtop); err != nil {
+		fmt.Fprintln(os.Stderr, "capyplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tasks []core.TaskDemand, supplyMW float64, techName string, vtop float64) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("no -task demands given (try -task sample:2.1:0.01:10 -task alarm:29:0.14::reactive)")
+	}
+	tech, err := storage.TechnologyByName(techName)
+	if err != nil {
+		return err
+	}
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: units.Power(supplyMW) * units.MilliWatt, V: 3.0})
+	plan, err := core.PlanModes(sys, tech, tasks, units.Voltage(vtop))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("plan for %d demands at %.2g mW harvested, %s units, Vtop %v\n\n",
+		len(tasks), supplyMW, tech.Name, plan.VTop)
+	fmt.Println("banks:")
+	for i, b := range plan.Banks {
+		role := "switched"
+		if i == 0 {
+			role = "base (always on)"
+		}
+		fmt.Printf("  %-7s %-10v vol %-10v %s\n", b.Name(), b.Capacitance(), b.Volume(), role)
+	}
+	fmt.Println("\nmodes:")
+	for _, m := range plan.Modes {
+		fmt.Printf("  %-10s mask %#04b  recharge ≈ %v\n",
+			m.Name, m.Mask, plan.RechargeTimes[string(m.Name)])
+	}
+	fmt.Printf("\ntotal: %v in %v of board volume\n", plan.TotalCapacitance(), plan.TotalVolume())
+	return nil
+}

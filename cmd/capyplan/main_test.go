@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestTaskFlagParsing(t *testing.T) {
+	var flags taskFlags
+	if err := flags.Set("sample:2.1:0.01:10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := flags.Set("alarm:29:0.14::reactive"); err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != 2 {
+		t.Fatalf("parsed %d demands", len(flags))
+	}
+	if flags[0].Name != "sample" || flags[0].MaxRecharge != 10 || flags[0].Reactive {
+		t.Fatalf("first demand wrong: %+v", flags[0])
+	}
+	if !flags[1].Reactive || flags[1].MaxRecharge != 0 {
+		t.Fatalf("second demand wrong: %+v", flags[1])
+	}
+	if flags.String() == "" {
+		t.Error("empty stringer")
+	}
+	for _, bad := range []string{"x", "x:y:z", "x:1:z", "x:1:2:z"} {
+		if err := flags.Set(bad); err == nil {
+			t.Errorf("bad flag %q accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	demands := taskFlags{}
+	if err := demands.Set("sample:2.1:0.01:60"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(demands, 2.0, "EDLC", 2.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, 2.0, "EDLC", 2.4); err == nil {
+		t.Fatal("empty demand set accepted")
+	}
+	if err := run(demands, 2.0, "unobtainium", 2.4); err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"capybara/internal/core"
+)
+
+func TestParseVariant(t *testing.T) {
+	for s, want := range map[string]core.Variant{
+		"Cont": core.Continuous, "fixed": core.Fixed,
+		"capy-r": core.CapyR, "CAPY-P": core.CapyP,
+	} {
+		got, err := parseVariant(s)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseVariant("nuclear"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run("TempAlarm", "Capy-P", 3, 60, 1, trace, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", "Capy-P", 1, 0, 1, "", 0); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("TempAlarm", "warp", 1, 0, 1, "", 0); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// Designspace regenerates the paper's design-space sweeps (Figures 3
+// and 4) as CSV series suitable for plotting.
+//
+// Usage:
+//
+//	designspace [-fig 3|4|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capybara/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "both", "which sweep: 3, 4, or both")
+	flag.Parse()
+
+	switch *fig {
+	case "3":
+		figure3()
+	case "4":
+		figure4()
+	case "both":
+		figure3()
+		figure4()
+	default:
+		fmt.Fprintf(os.Stderr, "designspace: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+func figure3() {
+	points := experiments.Figure3()
+	// Classify against the paper's example requirement (the dashed
+	// line): ~1.5 Mops.
+	regions := experiments.ClassifyFig3(points, 1.5)
+	fmt.Println("# Figure 3 — atomicity vs capacitance (regions vs a 1.5 Mops requirement)")
+	fmt.Println("capacitance_uF,operating_s,atomicity_Mops,region")
+	for _, p := range points {
+		fmt.Printf("%.1f,%.4f,%.4f,%s\n", float64(p.C)*1e6, float64(p.OnFor), p.Mops, regions[p.C])
+	}
+	fmt.Println()
+}
+
+func figure4() {
+	fmt.Println("# Figure 4 — atomicity vs volume by technology")
+	fmt.Println("technology,units,volume_mm3,atomicity_Mops")
+	for _, p := range experiments.Figure4() {
+		fmt.Printf("%s,%d,%.1f,%.4f\n", p.Tech, p.Units, float64(p.Volume), p.Mops)
+	}
+}

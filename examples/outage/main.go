@@ -1,0 +1,94 @@
+// Outage demonstrates the §5.2 switch-default trade-off on the public
+// API: when input power dies for longer than the latch capacitor's
+// retention (~3 minutes), a normally-open array forgets its big-bank
+// configuration and falls back to the small default, while a
+// normally-closed array falls back to maximum capacity.
+//
+// Run it with:
+//
+//	go run ./examples/outage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capybara"
+)
+
+func main() {
+	fmt.Println("input power: on for 60 s, dead for 10 min, then on again")
+	fmt.Println()
+	for _, kind := range []capybara.SwitchKind{capybara.NormallyOpen, capybara.NormallyClosed} {
+		if err := run(kind); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("NO recovers fast but forgets the big configuration (a big task")
+	fmt.Println("must reconfigure and recharge again); NC wakes up slowly but with")
+	fmt.Println("maximum capacity already connected.")
+}
+
+func run(kind capybara.SwitchKind) error {
+	src := capybara.SolarPanel{
+		PeakPower:          5 * capybara.MilliWatt,
+		OpenCircuitVoltage: 3.0,
+		Light: capybara.BlackoutTrace(capybara.ConstantTrace(1),
+			[2]capybara.Seconds{60, 600}),
+	}
+
+	small := capybara.MustBank("small",
+		capybara.GroupFor(capybara.CeramicX5R, 400*capybara.MicroFarad),
+		capybara.GroupFor(capybara.Tantalum, 330*capybara.MicroFarad))
+	big := capybara.MustBank("big", capybara.GroupOf(capybara.EDLC, 6))
+
+	var configured, afterOutage capybara.Seconds
+	prog := capybara.MustProgram("work",
+		&capybara.Task{
+			Name:   "work",
+			Config: "big",
+			Run: func(c *capybara.Ctx) capybara.Next {
+				if configured == 0 {
+					configured = c.Now()
+				}
+				c.Compute(100_000)
+				if c.Now() > 660 && afterOutage == 0 {
+					afterOutage = c.Now()
+					return capybara.Halt
+				}
+				return "work"
+			},
+		},
+	)
+
+	inst, err := capybara.New(capybara.Config{
+		Variant:    capybara.CapyP,
+		Source:     src,
+		MCU:        capybara.MSP430FR5969(),
+		Base:       small,
+		Switched:   []*capybara.Bank{big},
+		SwitchKind: kind,
+		Modes: []capybara.Mode{
+			{Name: "small", Mask: 0b001},
+			{Name: "big", Mask: 0b010},
+		},
+	}, prog)
+	if err != nil {
+		return err
+	}
+	if err := inst.Run(1200); err != nil {
+		return err
+	}
+
+	name := "normally-open"
+	if kind == capybara.NormallyClosed {
+		name = "normally-closed"
+	}
+	fmt.Printf("%s switches:\n", name)
+	fmt.Printf("  big mode first configured at %v\n", configured)
+	fmt.Printf("  latch reverts during outage:  %d\n", inst.Dev.Array.Reverts)
+	fmt.Printf("  reconfigurations overall:     %d\n", inst.Runtime.Reconfigs)
+	fmt.Printf("  work resumed after outage at  %v\n", afterOutage)
+	fmt.Println()
+	return nil
+}

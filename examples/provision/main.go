@@ -1,0 +1,70 @@
+// Provision walks the paper's §3 provisioning methodology with the
+// public API: measure each task's energy, grow trial banks until the
+// task completes, derate for aging, and compare capacitor technologies
+// by board volume (the Fig. 4 trade-off).
+//
+// Run it with:
+//
+//	go run ./examples/provision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capybara"
+	"capybara/internal/power"
+)
+
+func main() {
+	sys := power.NewSystem(capybara.RegulatedSupply{Max: 10 * capybara.MilliWatt, V: 3.0})
+	mcu := capybara.MSP430FR5969()
+
+	// The application's atomic tasks and their loads.
+	apds := capybara.APDS9960()
+	radio := capybara.CC2650()
+	tasks := []struct {
+		name string
+		load capybara.Power
+		dur  capybara.Seconds
+	}{
+		{"temperature sample", capybara.TMP36().ActivePower + mcu.ActivePower, capybara.TMP36().OpTime},
+		{"gesture window", apds.ActivePower + mcu.ActivePower, apds.Warmup + apds.OpTime},
+		{"25-byte BLE packet", radio.TxPower + mcu.ActivePower, radio.StartupTime + radio.PacketTime(25)},
+	}
+
+	fmt.Println("provisioning each task against each capacitor technology")
+	fmt.Println("(grow-until-complete, then +20% derating for aging)")
+	fmt.Println()
+	fmt.Printf("%-20s %-20s %8s %10s %12s\n", "task", "technology", "units", "capacity", "volume")
+	for _, t := range tasks {
+		for _, tech := range []capybara.Technology{capybara.CeramicX5R, capybara.Tantalum, capybara.EDLC} {
+			g, err := capybara.Provision(sys, tech, t.load, t.dur, capybara.DefaultVTop)
+			if err != nil {
+				fmt.Printf("%-20s %-20s %s\n", t.name, tech.Name, err)
+				continue
+			}
+			g = capybara.Derate(g, 0.2)
+			fmt.Printf("%-20s %-20s %8d %10v %12v\n",
+				t.name, tech.Name, g.Count, g.Capacitance(), g.Volume())
+		}
+	}
+
+	// The CPH3225A shows the Fig. 4 lesson: density is useless if ESR
+	// strands the energy.
+	fmt.Println()
+	g, err := capybara.Provision(sys,
+		capybara.SupercapCPH3225A, radio.TxPower+mcu.ActivePower,
+		radio.StartupTime+radio.PacketTime(25), 3.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one := capybara.MustBank("one", capybara.GroupOf(capybara.SupercapCPH3225A, 1))
+	one.SetVoltage(3.3)
+	fmt.Printf("CPH3225A supercap: one 11 mF unit stores %v but a packet needs %v of\n",
+		one.Energy(), capybara.Energy(float64(sys.StoreDraw(radio.TxPower+mcu.ActivePower))*
+			float64(radio.StartupTime+radio.PacketTime(25))))
+	fmt.Printf("extractable energy — its 160 Ω ESR strands the rest, so provisioning\n")
+	fmt.Printf("needs %d units in parallel (%v) before the packet completes.\n",
+		g.Count, g.Capacitance())
+}

@@ -1,0 +1,89 @@
+// Quickstart builds the smallest useful Capybara application with the
+// public API: a sensing loop on a small, fast-recharging bank and a
+// reactive alert burst on a pre-charged large bank.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capybara"
+)
+
+func main() {
+	// Provision two banks the way a hardware designer would (§3): a
+	// small bank for the sensing mode and a large EDLC bank able to
+	// hold a radio burst.
+	small := capybara.MustBank("small",
+		capybara.GroupFor(capybara.CeramicX5R, 400*capybara.MicroFarad),
+		capybara.GroupFor(capybara.Tantalum, 330*capybara.MicroFarad))
+	big := capybara.MustBank("big", capybara.GroupOf(capybara.EDLC, 6))
+
+	tmp := capybara.TMP36()
+	radio := capybara.CC2650()
+
+	var alerts int
+	// The program: sample() loops in the small mode and pre-charges
+	// the burst bank; alert() spends the burst the moment a reading
+	// crosses the threshold.
+	prog := capybara.MustProgram("sample",
+		&capybara.Task{
+			Name:          "sample",
+			PreburstBurst: "big",
+			PreburstExec:  "small",
+			Run: func(c *capybara.Ctx) capybara.Next {
+				at := c.Sample(tmp)
+				reading := 20 + float64(int(at)%40) // a toy environment
+				c.AppendFloat("series", reading)
+				if reading > 55 {
+					return "alert"
+				}
+				c.Sleep(0.1)
+				return "sample"
+			},
+		},
+		&capybara.Task{
+			Name:  "alert",
+			Burst: "big",
+			Run: func(c *capybara.Ctx) capybara.Next {
+				c.Transmit(radio, 25)
+				alerts++
+				c.Delete("series")
+				return "sample"
+			},
+		},
+	)
+
+	inst, err := capybara.New(capybara.Config{
+		Variant:    capybara.CapyP,
+		Source:     capybara.RegulatedSupply{Max: 2 * capybara.MilliWatt, V: 3.0},
+		MCU:        capybara.MSP430FR5969(),
+		Base:       small,
+		Switched:   []*capybara.Bank{big},
+		SwitchKind: capybara.NormallyOpen,
+		Modes: []capybara.Mode{
+			{Name: "small", Mask: 0b001},
+			{Name: "big", Mask: 0b010},
+		},
+	}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const horizon = 5 * capybara.Minute
+	if err := inst.Run(horizon); err != nil {
+		log.Fatal(err)
+	}
+
+	st := inst.Dev.Stats
+	fmt.Printf("ran %v of harvested-energy operation\n", horizon)
+	fmt.Printf("  alerts transmitted:   %d\n", alerts)
+	fmt.Printf("  boots:                %d\n", st.Boots)
+	fmt.Printf("  time on / charging:   %v / %v\n", st.TimeOn, st.TimeCharging)
+	fmt.Printf("  reconfigurations:     %d\n", inst.Runtime.Reconfigs)
+	fmt.Printf("  bursts pre-charged:   %d\n", inst.Runtime.Precharges)
+}

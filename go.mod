@@ -1,0 +1,3 @@
+module capybara
+
+go 1.22

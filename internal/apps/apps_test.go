@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"capybara/internal/core"
+	"capybara/internal/env"
+	"capybara/internal/metrics"
+	"capybara/internal/sim"
+	"capybara/internal/units"
+)
+
+// shortSchedule builds a reduced Poisson schedule so integration tests
+// stay fast while exercising the full pipeline.
+func shortSchedule(spec Spec, n int) env.Schedule {
+	return env.Poisson(rand.New(rand.NewSource(7)), n, spec.Mean, spec.Window)
+}
+
+func mustRun(t *testing.T, spec Spec, v core.Variant, sched env.Schedule) *Run {
+	t.Helper()
+	run, err := spec.Build(v, sched, nil)
+	if err != nil {
+		t.Fatalf("%s/%v build: %v", spec.Name, v, err)
+	}
+	if err := run.Execute(); err != nil {
+		t.Fatalf("%s/%v execute: %v", spec.Name, v, err)
+	}
+	return run
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	for _, name := range SpecNames() {
+		s, ok := specs[name]
+		if !ok {
+			t.Fatalf("spec %s missing", name)
+		}
+		if s.Events <= 0 || s.Mean <= 0 || s.Window <= 0 || s.Build == nil {
+			t.Fatalf("spec %s incomplete: %+v", name, s)
+		}
+	}
+	if _, err := SpecByName("TempAlarm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestAllAppsAllVariantsRun(t *testing.T) {
+	for _, name := range SpecNames() {
+		spec, _ := SpecByName(name)
+		sched := shortSchedule(spec, 8)
+		for _, v := range []core.Variant{core.Continuous, core.Fixed, core.CapyR, core.CapyP} {
+			run := mustRun(t, spec, v, sched)
+			if run.Name != name || run.Variant != v {
+				t.Fatalf("run identity wrong: %s/%v", run.Name, run.Variant)
+			}
+			acc := run.Accuracy()
+			if acc.Total != 8 {
+				t.Fatalf("%s/%v total = %d", name, v, acc.Total)
+			}
+		}
+	}
+}
+
+func TestContinuousDetectsNearlyEverything(t *testing.T) {
+	for _, name := range []string{"TempAlarm", "CorrSense"} {
+		spec, _ := SpecByName(name)
+		run := mustRun(t, spec, core.Continuous, shortSchedule(spec, 10))
+		if got := run.Accuracy().FractionCorrect(); got < 0.99 {
+			t.Errorf("%s continuous accuracy = %g, want ~1", name, got)
+		}
+	}
+}
+
+func TestCapybaraBeatsFixedAccuracy(t *testing.T) {
+	// The headline result (Fig. 8): reconfigurability improves event
+	// detection accuracy over a statically-provisioned system.
+	for _, name := range []string{"TempAlarm", "GestureFast", "CorrSense"} {
+		spec, _ := SpecByName(name)
+		sched := env.Poisson(rand.New(rand.NewSource(3)), 20, spec.Mean, spec.Window)
+		fixed := mustRun(t, spec, core.Fixed, sched)
+		capy := mustRun(t, spec, core.CapyP, sched)
+		f, p := fixed.Accuracy().FractionCorrect(), capy.Accuracy().FractionCorrect()
+		if p <= f {
+			t.Errorf("%s: Capy-P (%.2f) should beat Fixed (%.2f)", name, p, f)
+		}
+		if p < 1.5*f {
+			t.Errorf("%s: Capy-P advantage %.1fx below the paper's 2-4x band", name, p/f)
+		}
+	}
+}
+
+func TestGRCIntractableUnderCapyR(t *testing.T) {
+	// §6.2: "Capy-R is not suitable for GRC, because it incurs a
+	// charging delay between proximity detection and the gesture
+	// recognition task, during which the gesture motion completes".
+	spec, _ := SpecByName("GestureFast")
+	run := mustRun(t, spec, core.CapyR, shortSchedule(spec, 15))
+	if got := run.Accuracy().FractionCorrect(); got > 0.15 {
+		t.Fatalf("Capy-R GRC accuracy = %g, want ≈0", got)
+	}
+}
+
+func TestTACapyRPaysChargeOnCriticalPath(t *testing.T) {
+	spec, _ := SpecByName("TempAlarm")
+	sched := shortSchedule(spec, 10)
+	r := mustRun(t, spec, core.CapyR, sched)
+	p := mustRun(t, spec, core.CapyP, sched)
+	latR, latP := r.Latency(), p.Latency()
+	if latR.Count == 0 || latP.Count == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	// Capy-R recharges the alarm bank on the critical path: its median
+	// latency must exceed Capy-P's by an order of magnitude.
+	if latR.Median < 5*latP.Median {
+		t.Fatalf("Capy-R median %v should dwarf Capy-P median %v", latR.Median, latP.Median)
+	}
+}
+
+func TestCapyPLatencyNearContinuous(t *testing.T) {
+	// Abstract: "maintains response latency within 1.5x of a
+	// continuously-powered baseline" — GRC-Fast is the showcase.
+	spec, _ := SpecByName("GestureFast")
+	sched := shortSchedule(spec, 15)
+	cont := mustRun(t, spec, core.Continuous, sched)
+	capy := mustRun(t, spec, core.CapyP, sched)
+	lc, lp := cont.Latency(), capy.Latency()
+	if lc.Count == 0 || lp.Count == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if float64(lp.Median) > 2.5*float64(lc.Median) {
+		t.Fatalf("Capy-P median latency %v too far above continuous %v", lp.Median, lc.Median)
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	spec, _ := SpecByName("TempAlarm")
+	sched := shortSchedule(spec, 6)
+	a := mustRun(t, spec, core.CapyP, sched)
+	b := mustRun(t, spec, core.CapyP, sched)
+	if a.Accuracy() != b.Accuracy() {
+		t.Fatalf("accuracy differs across identical runs: %v vs %v", a.Accuracy(), b.Accuracy())
+	}
+	la, lb := a.Latency(), b.Latency()
+	if la != lb {
+		t.Fatalf("latency differs across identical runs: %v vs %v", la, lb)
+	}
+	if len(a.Rec.Samples()) != len(b.Rec.Samples()) {
+		t.Fatal("sample counts differ across identical runs")
+	}
+}
+
+func TestGapAnalysisShapes(t *testing.T) {
+	// Fig. 11's qualitative claim: the fixed system's meaningful
+	// inter-sample gaps are long; Capybara's are short.
+	spec, _ := SpecByName("TempAlarm")
+	sched := shortSchedule(spec, 8)
+	fixed := mustRun(t, spec, core.Fixed, sched)
+	capy := mustRun(t, spec, core.CapyP, sched)
+
+	meaningful := func(gaps []metrics.Gap) (n int, mean units.Seconds) {
+		var sum units.Seconds
+		for _, g := range gaps {
+			if g.Class != metrics.BackToBack {
+				n++
+				sum += g.Duration
+			}
+		}
+		if n > 0 {
+			mean = sum / units.Seconds(n)
+		}
+		return n, mean
+	}
+	nf, mf := meaningful(fixed.Gaps())
+	nc, mc := meaningful(capy.Gaps())
+	if nf == 0 || nc == 0 {
+		t.Fatal("no meaningful gaps recorded")
+	}
+	if mf < 5*mc {
+		t.Fatalf("fixed mean gap %v should dwarf Capybara's %v", mf, mc)
+	}
+	if len(fixed.EventWindows()) != 8 {
+		t.Fatalf("event windows = %d", len(fixed.EventWindows()))
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	spec, _ := SpecByName("TempAlarm")
+	tr := &sim.Trace{MinInterval: 1}
+	run, err := spec.Build(core.Fixed, shortSchedule(spec, 4), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) < 10 {
+		t.Fatalf("trace has only %d samples", len(tr.Samples))
+	}
+}

@@ -1,0 +1,184 @@
+// Package checkpoint implements a Hibernus/QuickRecall-style dynamic
+// checkpointing executor — the class of intermittent-computing systems
+// the paper contrasts with task-based models in §7 ("dynamic
+// checkpointing approaches are less amenable to use with Capybara
+// because checkpoints occur arbitrarily, on energy changes").
+//
+// The executor runs a monolithic computation on a simulated device: a
+// voltage supervisor triggers a volatile-state snapshot to FRAM when
+// the storage voltage decays to a save threshold, the device powers
+// off, recharges, restores, and continues. Together with the
+// task-restart executor it reproduces the classic intermittent
+// trade-off: checkpoint overhead vs re-execution waste.
+package checkpoint
+
+import (
+	"fmt"
+
+	"capybara/internal/sim"
+	"capybara/internal/units"
+)
+
+// Config parameterizes the checkpointing runtime.
+type Config struct {
+	// SnapshotBytes is the volatile state the checkpoint saves.
+	SnapshotBytes int
+	// FRAMBandwidth is the non-volatile write bandwidth in bytes/s.
+	FRAMBandwidth float64
+	// VTop is the recharge target after each power-down.
+	VTop units.Voltage
+	// Margin scales the energy reserved for the save (≥ 1).
+	Margin float64
+}
+
+// DefaultConfig models an MSP430FR5969-class device: 4 KiB of RAM and
+// registers snapshotted at FRAM speed.
+func DefaultConfig() Config {
+	return Config{
+		SnapshotBytes: 4096,
+		FRAMBandwidth: 1.5e6,
+		VTop:          2.4,
+		Margin:        1.5,
+	}
+}
+
+// saveTime returns the duration of one checkpoint write.
+func (c Config) saveTime() units.Seconds {
+	if c.FRAMBandwidth <= 0 {
+		return 0
+	}
+	return units.Seconds(float64(c.SnapshotBytes) / c.FRAMBandwidth)
+}
+
+// Result summarizes one executor run.
+type Result struct {
+	// CompletedOps is how much of the computation finished.
+	CompletedOps float64
+	// Elapsed is the simulated completion (or horizon) time.
+	Elapsed units.Seconds
+	// Checkpoints counts snapshot writes; Restores counts resumptions.
+	Checkpoints, Restores int
+	// ReexecutedOps counts work performed more than once (zero for
+	// checkpointing; the task-restart executor's waste).
+	ReexecutedOps float64
+	// OverheadTime is time spent on snapshots and restores.
+	OverheadTime units.Seconds
+	// Done reports whether the computation finished before the horizon.
+	Done bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("completed %.2f Mops in %v (%d checkpoints, %d restores, %.2f Mops re-executed)",
+		r.CompletedOps/1e6, r.Elapsed, r.Checkpoints, r.Restores, r.ReexecutedOps/1e6)
+}
+
+// Run executes totalOps of computation under the checkpointing
+// discipline on dev, until the horizon.
+func Run(dev *sim.Device, cfg Config, totalOps float64, horizon units.Seconds) Result {
+	var res Result
+	mcu := dev.MCU
+	saveT := cfg.saveTime()
+	margin := cfg.Margin
+	if margin < 1 {
+		margin = 1
+	}
+	remaining := totalOps
+
+	for remaining > 0 && dev.Now() < horizon {
+		// Bring the device up.
+		if _, ok := dev.ChargeTo(cfg.VTop, horizon-dev.Now()); !ok {
+			break
+		}
+		if !dev.Boot() {
+			continue
+		}
+		if res.Checkpoints > 0 {
+			// Restore the snapshot (same cost as saving it).
+			if _, ok := dev.Drain(mcu.ActivePower, saveT); !ok {
+				continue
+			}
+			res.Restores++
+			res.OverheadTime += saveT
+		}
+
+		// Run until the supervisor fires: leave exactly enough energy
+		// to write the snapshot (with margin).
+		saveEnergy := units.Energy(float64(dev.Sys.StoreDraw(mcu.ActivePower)) * float64(saveT) * margin)
+		set := dev.Store()
+		cut := dev.Sys.CutoffVoltage(set.ESR(), mcu.ActivePower)
+		vSave := units.VoltageForEnergy(set.Capacitance(),
+			units.StoredEnergy(set.Capacitance(), cut)+saveEnergy)
+		runFor := units.TimeToDischarge(set.Capacitance(), set.Voltage(), vSave,
+			dev.Sys.StoreDraw(mcu.ActivePower))
+		want := mcu.ComputeTime(remaining)
+		finishing := want <= runFor
+		if finishing {
+			runFor = want
+		}
+		if runFor > 0 {
+			sustained, ok := dev.Drain(mcu.ActivePower, runFor)
+			remaining -= float64(sustained) * mcu.OpsPerSecond
+			res.CompletedOps += float64(sustained) * mcu.OpsPerSecond
+			if !ok {
+				// The supervisor margin was insufficient (e.g. the
+				// charge died mid-run): progress since the last
+				// checkpoint is lost.
+				lost := float64(sustained) * mcu.OpsPerSecond
+				remaining += lost
+				res.CompletedOps -= lost
+				res.ReexecutedOps += lost
+				continue
+			}
+		}
+		if remaining <= 0 {
+			break
+		}
+		// Snapshot and power down.
+		if _, ok := dev.Drain(mcu.ActivePower, saveT); !ok {
+			// The save itself browned out: the previous checkpoint
+			// still stands, but the run since then is lost.
+			continue
+		}
+		res.Checkpoints++
+		res.OverheadTime += saveT
+	}
+	res.Elapsed = dev.Now()
+	res.Done = remaining <= 0
+	return res
+}
+
+// RunTaskRestart executes totalOps decomposed into tasks of taskOps
+// each under Chain-style restart semantics: a brownout mid-task
+// discards the task's progress. This is the software substrate
+// Capybara's annotations attach to, isolated for comparison.
+func RunTaskRestart(dev *sim.Device, vtop units.Voltage, totalOps, taskOps float64, horizon units.Seconds) Result {
+	var res Result
+	mcu := dev.MCU
+	remaining := totalOps
+
+	for remaining > 0 && dev.Now() < horizon {
+		if !dev.Sys.CanSupply(dev.Store(), mcu.ActivePower) {
+			if _, ok := dev.ChargeTo(vtop, horizon-dev.Now()); !ok {
+				break
+			}
+			if !dev.Boot() {
+				continue
+			}
+		}
+		ops := taskOps
+		if ops > remaining {
+			ops = remaining
+		}
+		sustained, ok := dev.Drain(mcu.ActivePower, mcu.ComputeTime(ops))
+		if !ok {
+			// The whole task re-executes.
+			res.ReexecutedOps += float64(sustained) * mcu.OpsPerSecond
+			continue
+		}
+		remaining -= ops
+		res.CompletedOps += ops
+	}
+	res.Elapsed = dev.Now()
+	res.Done = remaining <= 0
+	return res
+}

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"capybara/internal/device"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/sim"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+func newDevice(capacitance units.Capacitance, supply units.Power) *sim.Device {
+	tech := storage.Technology{
+		Name: "test", UnitCap: capacitance, UnitVolume: 1, UnitESR: 0.05, RatedVoltage: 3.6,
+	}
+	bank := storage.MustBank("main", storage.GroupOf(tech, 1))
+	arr := reservoir.NewArray(bank, reservoir.NormallyOpen)
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: supply, V: 3.0})
+	return sim.NewDevice(sys, arr, device.MSP430FR5969())
+}
+
+func TestCheckpointCompletesComputation(t *testing.T) {
+	dev := newDevice(units.MilliFarad, 2*units.MilliWatt)
+	res := Run(dev, DefaultConfig(), 20e6, 1e5)
+	if !res.Done {
+		t.Fatalf("computation did not finish: %v", res)
+	}
+	// 20 Mops exceed the 1 mF buffer many times over: the run must
+	// have checkpointed and restored across power cycles.
+	if res.Checkpoints == 0 || res.Restores == 0 {
+		t.Fatalf("no checkpointing happened: %v", res)
+	}
+	if res.CompletedOps < 20e6-1 {
+		t.Fatalf("completed ops = %g", res.CompletedOps)
+	}
+	// Checkpointing loses no work when the supervisor margin holds.
+	if res.ReexecutedOps > 0.05*20e6 {
+		t.Fatalf("excessive re-execution for a checkpointing runtime: %v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty stringer")
+	}
+}
+
+func TestCheckpointSmallBufferStalls(t *testing.T) {
+	// A buffer too small to hold even one snapshot's energy cannot make
+	// progress — the §2.2.1 infeasible region.
+	dev := newDevice(20*units.MicroFarad, 2*units.MilliWatt)
+	res := Run(dev, DefaultConfig(), 20e6, 200)
+	if res.Done {
+		t.Fatalf("tiny buffer should not finish 20 Mops: %v", res)
+	}
+}
+
+func TestTaskRestartCompletes(t *testing.T) {
+	dev := newDevice(units.MilliFarad, 2*units.MilliWatt)
+	res := RunTaskRestart(dev, 2.4, 20e6, 0.2e6, 1e5)
+	if !res.Done {
+		t.Fatalf("task-restart did not finish: %v", res)
+	}
+	if res.CompletedOps < 20e6-1 {
+		t.Fatalf("completed ops = %g", res.CompletedOps)
+	}
+}
+
+func TestOversizedTasksWasteWork(t *testing.T) {
+	// Tasks larger than the buffer brown out mid-task and re-execute:
+	// the re-execution waste the checkpointing runtime avoids.
+	dev := newDevice(units.MilliFarad, 2*units.MilliWatt)
+	res := RunTaskRestart(dev, 2.4, 20e6, 2e6, 1e5)
+	if !res.Done {
+		t.Fatalf("did not finish: %v", res)
+	}
+	if res.ReexecutedOps == 0 {
+		t.Fatal("oversized tasks should have re-executed work")
+	}
+	// A task bigger than the whole buffer never completes.
+	dev2 := newDevice(units.MilliFarad, 2*units.MilliWatt)
+	res2 := RunTaskRestart(dev2, 2.4, 20e6, 20e6, 500)
+	if res2.Done {
+		t.Fatalf("impossible task granularity completed: %v", res2)
+	}
+	if res2.ReexecutedOps == 0 {
+		t.Fatal("impossible granularity should show waste")
+	}
+}
+
+func TestGranularityTradeoff(t *testing.T) {
+	// The classic intermittent trade-off: fine tasks waste little to
+	// re-execution; coarse tasks waste more.
+	fine := RunTaskRestart(newDevice(units.MilliFarad, 2*units.MilliWatt), 2.4, 20e6, 0.1e6, 1e5)
+	coarse := RunTaskRestart(newDevice(units.MilliFarad, 2*units.MilliWatt), 2.4, 20e6, 2e6, 1e5)
+	if !fine.Done || !coarse.Done {
+		t.Fatal("runs did not finish")
+	}
+	if fine.ReexecutedOps >= coarse.ReexecutedOps {
+		t.Fatalf("fine granularity (%g wasted) should beat coarse (%g wasted)",
+			fine.ReexecutedOps, coarse.ReexecutedOps)
+	}
+}
+
+func TestCheckpointVsTaskRestartOverheads(t *testing.T) {
+	// Both disciplines finish; checkpointing pays snapshot time, task
+	// restart pays re-execution. Neither should be free on a small
+	// buffer.
+	cp := Run(newDevice(units.MilliFarad, 2*units.MilliWatt), DefaultConfig(), 20e6, 1e5)
+	tr := RunTaskRestart(newDevice(units.MilliFarad, 2*units.MilliWatt), 2.4, 20e6, 2e6, 1e5)
+	if !cp.Done || !tr.Done {
+		t.Fatal("runs did not finish")
+	}
+	if cp.OverheadTime <= 0 {
+		t.Fatal("checkpointing reported no overhead")
+	}
+	if tr.ReexecutedOps <= 0 {
+		t.Fatal("task restart reported no waste")
+	}
+}
+
+func TestDeadSourceGivesUp(t *testing.T) {
+	dev := newDevice(units.MilliFarad, 0)
+	res := Run(dev, DefaultConfig(), 1e6, 100)
+	if res.Done || res.CompletedOps != 0 {
+		t.Fatalf("dead source produced work: %v", res)
+	}
+	dev2 := newDevice(units.MilliFarad, 0)
+	res2 := RunTaskRestart(dev2, 2.4, 1e6, 1e5, 100)
+	if res2.Done {
+		t.Fatalf("dead source finished: %v", res2)
+	}
+}

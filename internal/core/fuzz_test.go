@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"capybara/internal/device"
+	"capybara/internal/harvest"
+	"capybara/internal/reservoir"
+	"capybara/internal/storage"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// TestRuntimeRingInvariantFuzz runs randomized ring programs (each task
+// increments its own durable counter and passes control on) under
+// randomized power conditions and annotations, then checks the
+// wavefront invariant: in a ring, counters in visit order can differ by
+// at most one, regardless of how many power failures and implicit
+// reconfigurations interrupted execution. Any violation means a task
+// transition committed non-atomically.
+func TestRuntimeRingInvariantFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		variant := []Variant{Fixed, CapyR, CapyP}[rng.Intn(3)]
+
+		names := make([]string, n)
+		tasks := make([]*task.Task, n)
+		for i := 0; i < n; i++ {
+			names[i] = fmt.Sprintf("t%d", i)
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			next := task.Next(names[(i+1)%n])
+			tk := &task.Task{Name: names[i], Run: func(c *task.Ctx) task.Next {
+				c.Compute(float64(1000 + rng.Intn(50000)))
+				key := "count." + names[i]
+				c.SetWord(key, c.WordOr(key, 0)+1)
+				return next
+			}}
+			// Random annotations from the two-mode set.
+			switch rng.Intn(4) {
+			case 0:
+				tk.Config = "small"
+			case 1:
+				tk.Config = "big"
+			case 2:
+				tk.Burst = "big"
+			case 3:
+				tk.PreburstBurst, tk.PreburstExec = "big", "small"
+			}
+			tasks[i] = tk
+		}
+		prog := task.MustProgram(names[0], tasks...)
+
+		// Random power: steady or with one blackout window.
+		var src harvest.Source = harvest.RegulatedSupply{
+			Max: units.Power(1+rng.Float64()*9) * units.MilliWatt, V: 3.0,
+		}
+		if rng.Intn(2) == 0 {
+			start := units.Seconds(rng.Float64() * 100)
+			src = harvest.SolarPanel{
+				PeakPower:          units.Power(1+rng.Float64()*9) * units.MilliWatt,
+				OpenCircuitVoltage: 3.0,
+				Light: harvest.BlackoutTrace(harvest.ConstantTrace(1),
+					[2]units.Seconds{start, units.Seconds(30 + rng.Float64()*300)}),
+			}
+		}
+
+		kind := reservoir.NormallyOpen
+		if rng.Intn(2) == 0 {
+			kind = reservoir.NormallyClosed
+		}
+		inst, err := New(Config{
+			Variant: variant,
+			Source:  src,
+			MCU:     device.MSP430FR5969(),
+			Base: storage.MustBank("base",
+				storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+				storage.GroupFor(storage.Tantalum, 330*units.MicroFarad)),
+			Switched:   []*storage.Bank{storage.MustBank("big", storage.GroupOf(storage.EDLC, 3))},
+			SwitchKind: kind,
+			Modes: []Mode{
+				{Name: "small", Mask: 0b001},
+				{Name: "big", Mask: 0b010},
+			},
+		}, prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		horizon := units.Seconds(200 + rng.Float64()*400)
+		if err := inst.Run(horizon); err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+
+		counts := make([]uint64, n)
+		for i, name := range names {
+			counts[i] = inst.Dev.NV.WordOr("count."+name, 0)
+		}
+		// Wavefront invariant: counters are non-increasing around the
+		// ring from the entry, and the entry's counter exceeds the last
+		// task's by at most one.
+		for i := 1; i < n; i++ {
+			if counts[i] > counts[i-1] {
+				t.Fatalf("trial %d (%v, %d tasks): counter order violated: %v",
+					trial, variant, n, counts)
+			}
+			if counts[i-1]-counts[i] > 1 {
+				t.Fatalf("trial %d (%v): wavefront gap > 1: %v", trial, variant, counts)
+			}
+		}
+		if counts[0]-counts[n-1] > 1 {
+			t.Fatalf("trial %d (%v): ring closure violated: %v", trial, variant, counts)
+		}
+	}
+}
+
+// TestRuntimePointerAlwaysValidFuzz interrupts runs at random horizons
+// and checks the durable task pointer still names a defined task — the
+// resume point after any power failure.
+func TestRuntimePointerAlwaysValidFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		prog := task.MustProgram("a",
+			&task.Task{Name: "a", Config: "small", Run: func(c *task.Ctx) task.Next {
+				c.Compute(20000)
+				return "b"
+			}},
+			&task.Task{Name: "b", Burst: "big", Run: func(c *task.Ctx) task.Next {
+				c.Compute(20000)
+				return "a"
+			}},
+		)
+		cfg := baseConfig(CapyP)
+		inst, err := New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Run(units.Seconds(1 + rng.Float64()*20)); err != nil {
+			t.Fatal(err)
+		}
+		cur := inst.Engine.CurrentTask()
+		if _, ok := prog.Task(cur); !ok {
+			t.Fatalf("trial %d: dangling task pointer %q", trial, cur)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/units"
+)
+
+func testPowerSystem() *power.System {
+	return power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// This file closes the paper's provisioning loop: §3 prescribes
+// measuring task energy on continuous power, and §8 asks for automatic
+// capacity estimation and bank allocation. MeasureProgram runs a
+// program on the continuously-powered reference configuration and
+// collects per-task energy profiles; PlanFromProfiles feeds them to the
+// §8 planner. Together: measure → plan → build.
+
+// Measurement is one task's observed cost on continuous power.
+type Measurement struct {
+	Task   string
+	Runs   int
+	Time   units.Seconds
+	Energy units.Energy
+	Power  units.Power
+}
+
+// MeasureProgram executes prog on a continuously-powered instance until
+// horizon and returns per-task measurements. Tasks that never ran are
+// absent from the result — lengthen the horizon or adjust the program's
+// inputs so every task executes at least once.
+func MeasureProgram(cfg Config, prog *task.Program, horizon units.Seconds) ([]Measurement, error) {
+	cfg.Variant = Continuous
+	inst, err := New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Run(horizon); err != nil {
+		return nil, err
+	}
+	var out []Measurement
+	for _, name := range prog.Names() {
+		p, ok := inst.Engine.Profile[name]
+		if !ok || p.Runs == 0 {
+			continue
+		}
+		out = append(out, Measurement{
+			Task:   name,
+			Runs:   p.Runs,
+			Time:   p.MeanTime(),
+			Energy: p.MeanEnergy(),
+			Power:  p.MeanPower(),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no task completed within %v on continuous power", horizon)
+	}
+	return out, nil
+}
+
+// PlanFromProfiles converts measurements into planner demands, using
+// the program's annotations to mark reactive (burst) tasks, and runs
+// the §8 planner. Demands inherit maxRecharge for non-reactive tasks.
+func PlanFromProfiles(sys *power.System, tech storage.Technology, prog *task.Program,
+	measurements []Measurement, maxRecharge units.Seconds, vtop units.Voltage) (*Plan, error) {
+	demands := make([]TaskDemand, 0, len(measurements))
+	for _, m := range measurements {
+		t, ok := prog.Task(m.Task)
+		if !ok {
+			return nil, fmt.Errorf("core: measurement for unknown task %q", m.Task)
+		}
+		d := TaskDemand{
+			Name:     m.Task,
+			Load:     m.Power,
+			Duration: m.Time,
+			Reactive: t.Burst != task.ModeNone,
+		}
+		if !d.Reactive {
+			d.MaxRecharge = maxRecharge
+		}
+		demands = append(demands, d)
+	}
+	return PlanModes(sys, tech, demands, vtop)
+}

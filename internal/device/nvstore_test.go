@@ -1,0 +1,128 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNVStoreWords(t *testing.T) {
+	s := NewNVStore()
+	if _, ok := s.Word("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	s.SetWord("state", 42)
+	if v, ok := s.Word("state"); !ok || v != 42 {
+		t.Fatalf("Word = (%d, %v)", v, ok)
+	}
+	if got := s.WordOr("state", 7); got != 42 {
+		t.Fatalf("WordOr existing = %d", got)
+	}
+	if got := s.WordOr("missing", 7); got != 7 {
+		t.Fatalf("WordOr default = %d", got)
+	}
+	if s.Writes() != 1 {
+		t.Fatalf("writes = %d, want 1", s.Writes())
+	}
+}
+
+func TestNVStoreFloats(t *testing.T) {
+	s := NewNVStore()
+	s.SetFloat("v", 2.4)
+	if got := s.FloatOr("v", 0); got != 2.4 {
+		t.Fatalf("FloatOr = %g", got)
+	}
+	if got := s.FloatOr("missing", -1); got != -1 {
+		t.Fatalf("FloatOr default = %g", got)
+	}
+}
+
+func TestNVStoreBlobsAreCopied(t *testing.T) {
+	s := NewNVStore()
+	src := []byte{1, 2, 3}
+	s.SetBlob("b", src)
+	src[0] = 99 // must not affect the stored copy
+	got, ok := s.Blob("b")
+	if !ok || !reflect.DeepEqual(got, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = (%v, %v)", got, ok)
+	}
+	got[1] = 77 // must not affect the stored copy either
+	again, _ := s.Blob("b")
+	if !reflect.DeepEqual(again, []byte{1, 2, 3}) {
+		t.Fatalf("stored blob mutated: %v", again)
+	}
+	if _, ok := s.Blob("missing"); ok {
+		t.Fatal("missing blob found")
+	}
+}
+
+func TestNVStoreFloatSeries(t *testing.T) {
+	s := NewNVStore()
+	want := []float64{21.5, 22.0, 22.5}
+	for _, v := range want {
+		s.AppendFloat("series", v)
+	}
+	if got := s.FloatSeries("series"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FloatSeries = %v, want %v", got, want)
+	}
+	if got := s.FloatSeries("missing"); len(got) != 0 {
+		t.Fatalf("missing series = %v", got)
+	}
+}
+
+func TestNVStoreFloatSeriesRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewNVStore()
+		for _, v := range vals {
+			s.AppendFloat("k", v)
+		}
+		got := s.FloatSeries("k")
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN-safe comparison via bit identity is handled by
+			// reflect.DeepEqual on float64 only for equal bits; compare
+			// bitwise through the encoded path instead.
+			if got[i] != vals[i] && !(got[i] != got[i] && vals[i] != vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNVStoreDeleteAndKeys(t *testing.T) {
+	s := NewNVStore()
+	s.SetWord("b", 1)
+	s.SetBlob("a", []byte{1})
+	s.SetWord("a", 2) // same key in both spaces is one logical key
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+	s.Delete("a")
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Keys after delete = %v", got)
+	}
+}
+
+func TestNVStoreSnapshotIsolated(t *testing.T) {
+	s := NewNVStore()
+	s.SetWord("w", 1)
+	s.AppendFloat("f", 3.5)
+	snap := s.Snapshot()
+	s.SetWord("w", 2)
+	s.AppendFloat("f", 4.5)
+	if got := snap.WordOr("w", 0); got != 1 {
+		t.Fatalf("snapshot word mutated: %d", got)
+	}
+	if got := snap.FloatSeries("f"); len(got) != 1 || got[0] != 3.5 {
+		t.Fatalf("snapshot series mutated: %v", got)
+	}
+	if s.String() == "" {
+		t.Error("empty stringer")
+	}
+}

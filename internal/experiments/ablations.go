@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the bypass
+// diode, the NO-vs-NC switch default under adversarial input power, the
+// ESR dependence of extraction, and the pre-charge voltage deficit.
+
+// BypassAblation measures the cold-start charge time of the GRC fixed
+// bank with and without the bypass diode (§5.1: "the bypass
+// optimization reduces charge time by at least an order of magnitude").
+type BypassAblation struct {
+	With, Without units.Seconds
+	Speedup       float64
+}
+
+// AblateBypass runs the comparison.
+func AblateBypass() BypassAblation {
+	charge := func(bypass bool) units.Seconds {
+		sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+		sys.Bypass.Enabled = bypass
+		b := storage.MustBank("grc-fixed",
+			storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+			storage.GroupFor(storage.Tantalum, 330*units.MicroFarad),
+			storage.GroupOf(storage.EDLC, 9))
+		dt, ok := sys.TimeToChargeTo(b, 2.4, 0, 1e7)
+		if !ok {
+			return units.Seconds(1e7)
+		}
+		return dt
+	}
+	a := BypassAblation{With: charge(true), Without: charge(false)}
+	a.Speedup = float64(a.Without) / float64(a.With)
+	return a
+}
+
+// Table renders the bypass ablation.
+func (a BypassAblation) Table() *Table {
+	return &Table{
+		Title:  "Ablation — input booster bypass diode (cold start of the 68 mF bank)",
+		Header: []string{"configuration", "charge time"},
+		Rows: [][]string{
+			{"with bypass", a.With.String()},
+			{"without bypass", a.Without.String()},
+			{"speedup", fmt.Sprintf("%.1fx", a.Speedup)},
+		},
+	}
+}
+
+// SwitchDefaultAblation compares NO and NC switch defaults under
+// adversarial input-power timing (§5.2): repeated outages longer than
+// the latch retention. The NO array keeps falling back to the small
+// default (fast recovery, but a big-bank task never completes on first
+// attempt); the NC array falls back to maximum capacity (slow recovery,
+// guaranteed completion).
+type SwitchDefaultAblation struct {
+	Kind              reservoir.SwitchKind
+	RecoveryCharge    units.Seconds // time to recharge the default config after an outage
+	FirstAttemptOK    bool          // would a big-bank task complete on the default config?
+	ImplicitCapacity  units.Capacitance
+	RevertsPerOutage  int
+	RetentionOverhead units.Seconds
+}
+
+// AblateSwitchDefault runs both variants through one long outage.
+func AblateSwitchDefault() []SwitchDefaultAblation {
+	var out []SwitchDefaultAblation
+	for _, kind := range []reservoir.SwitchKind{reservoir.NormallyOpen, reservoir.NormallyClosed} {
+		sys := power.NewSystem(harvest.RegulatedSupply{Max: 2 * units.MilliWatt, V: 3.0})
+		small := storage.MustBank("small",
+			storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+			storage.GroupFor(storage.Tantalum, 330*units.MicroFarad))
+		big := storage.MustBank("big", storage.GroupOf(storage.EDLC, 9))
+		arr := reservoir.NewArray(small, kind, big)
+		// Software selects the big configuration, then power dies for
+		// 10 minutes — far past the latch retention.
+		if err := arr.Configure(0b010); err != nil {
+			panic(err)
+		}
+		arr.TickUnpowered(600)
+
+		set := arr.ActiveSet()
+		dt, ok := sys.TimeToChargeTo(set, 2.4, 0, 1e7)
+		if !ok {
+			dt = units.Seconds(1e7)
+		}
+		// A "big" task needs the big bank's energy: feasible on the
+		// post-outage default only if the big bank is connected.
+		bigConnected := arr.ActiveMask()&0b010 != 0
+		out = append(out, SwitchDefaultAblation{
+			Kind:              kind,
+			RecoveryCharge:    dt,
+			FirstAttemptOK:    bigConnected,
+			ImplicitCapacity:  set.Capacitance(),
+			RevertsPerOutage:  arr.Reverts,
+			RetentionOverhead: reservoir.DefaultSwitch(kind).Retention(),
+		})
+	}
+	return out
+}
+
+// SwitchDefaultTable renders the NO/NC ablation.
+func SwitchDefaultTable(rows []SwitchDefaultAblation) *Table {
+	t := &Table{
+		Title: "Ablation — NO vs NC switch default after a long outage",
+		Header: []string{"default", "implicit capacity", "recovery charge",
+			"big task on first attempt", "reverts"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Kind.String(), r.ImplicitCapacity.String(), r.RecoveryCharge.String(),
+			fmt.Sprint(r.FirstAttemptOK), fmt.Sprint(r.RevertsPerOutage),
+		})
+	}
+	return t
+}
+
+// ESRAblation sweeps the equivalent series resistance of a fixed
+// 45 mF bank and reports the extractable energy for the radio load —
+// the §2.2.2/Fig. 4 effect in isolation.
+type ESRAblation struct {
+	ESR         units.Resistance
+	Cutoff      units.Voltage
+	Extractable units.Energy
+}
+
+// AblateESR runs the sweep.
+func AblateESR() []ESRAblation {
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+	load := 30 * units.MilliWatt
+	var out []ESRAblation
+	for _, esr := range []units.Resistance{0, 1, 2, 5, 10, 20, 40, 80, 160} {
+		tech := storage.Technology{
+			Name: "sweep", UnitCap: 45 * units.MilliFarad, UnitVolume: 1,
+			UnitESR: esr, RatedVoltage: 3.6,
+		}
+		b := storage.MustBank("sweep", storage.GroupOf(tech, 1))
+		b.SetVoltage(2.4)
+		out = append(out, ESRAblation{
+			ESR:         esr,
+			Cutoff:      sys.CutoffVoltage(b.ESR(), load),
+			Extractable: sys.ExtractableEnergy(b, load),
+		})
+	}
+	return out
+}
+
+// ESRTable renders the ESR sweep.
+func ESRTable(rows []ESRAblation) *Table {
+	t := &Table{
+		Title:  "Ablation — ESR vs extractable energy (45 mF bank, 30 mW load)",
+		Header: []string{"ESR", "cutoff voltage", "extractable energy"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.ESR.String(), r.Cutoff.String(), r.Extractable.String(),
+		})
+	}
+	return t
+}
+
+// DeficitAblation sweeps the pre-charge voltage deficit and reports the
+// energy a 45 mF burst bank loses to it — why Capy-R can beat Capy-P on
+// accuracy for some event sequences (§6.4).
+type DeficitAblation struct {
+	Deficit   units.Voltage
+	BurstBand units.Energy
+	LossVsTop float64
+}
+
+// AblateDeficit runs the sweep.
+func AblateDeficit() []DeficitAblation {
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+	c := 45 * units.MilliFarad
+	cut := sys.CutoffVoltage(25.0/6, 30*units.MilliWatt)
+	full := units.BandEnergy(c, 2.4, cut)
+	var out []DeficitAblation
+	for _, d := range []units.Voltage{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		band := units.BandEnergy(c, 2.4-d, cut)
+		out = append(out, DeficitAblation{
+			Deficit:   d,
+			BurstBand: band,
+			LossVsTop: 1 - float64(band)/float64(full),
+		})
+	}
+	return out
+}
+
+// DeficitTable renders the deficit sweep.
+func DeficitTable(rows []DeficitAblation) *Table {
+	t := &Table{
+		Title:  "Ablation — pre-charge voltage deficit vs burst energy (45 mF bank)",
+		Header: []string{"deficit", "burst band", "loss vs direct charge"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Deficit.String(), r.BurstBand.String(), fmt.Sprintf("%.0f%%", 100*r.LossVsTop),
+		})
+	}
+	return t
+}

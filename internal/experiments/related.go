@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capybara/internal/checkpoint"
+	"capybara/internal/device"
+	"capybara/internal/federated"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/sim"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// Related-work comparisons (§7): the federated-storage baseline (UFoP)
+// and the dynamic-checkpointing baseline (Hibernus/QuickRecall class),
+// both built on the same simulation substrate as Capybara.
+
+// FederatedResult compares a UFoP federation against a Capybara
+// reconfigurable array with identical total capacitance.
+type FederatedResult struct {
+	TotalCapacitance units.Capacitance
+	// MaxAtomicFederated is the largest task energy any federated
+	// store supports; MaxAtomicGanged is what the same capacitors
+	// support when Capybara activates them together.
+	MaxAtomicFederated units.Energy
+	MaxAtomicGanged    units.Energy
+	// BigTaskEnergy is a data-dump task between the two ceilings:
+	// feasible for Capybara, impossible for the federation.
+	BigTaskEnergy     units.Energy
+	FeasibleFederated bool
+	FeasibleGanged    bool
+	// BurstPacketsFederated/Ganged count back-to-back packets each
+	// system fires from full storage at a phase change.
+	BurstPacketsFederated int
+	BurstPacketsGanged    int
+}
+
+// Federated runs the comparison.
+func Federated() FederatedResult {
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 5 * units.MilliWatt, V: 3.0})
+	mcu := device.MSP430FR5969()
+	radio := device.CC2650()
+	load := radio.TxPower + mcu.ActivePower
+
+	mkSmall := func() *storage.Bank {
+		return storage.MustBank("sense", storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad))
+	}
+	mkBig := func() *storage.Bank {
+		return storage.MustBank("radio", storage.GroupOf(storage.EDLC, 3))
+	}
+
+	fed := federated.NewArray(
+		&federated.Store{Name: "mcu", Bank: mkSmall(), VTop: 2.4},
+		&federated.Store{Name: "radio", Bank: mkBig(), VTop: 2.4},
+	)
+
+	var res FederatedResult
+	res.TotalCapacitance = fed.TotalCapacitance()
+	res.MaxAtomicFederated = fed.MaxAtomicEnergy(sys, load)
+
+	ganged := storage.MustBank("ganged",
+		storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+		storage.GroupOf(storage.EDLC, 3))
+	ganged.SetVoltage(2.4)
+	res.MaxAtomicGanged = sys.ExtractableEnergy(ganged, load)
+
+	// A data-dump task sized between the two ceilings.
+	res.BigTaskEnergy = (res.MaxAtomicFederated + res.MaxAtomicGanged) / 2
+	res.FeasibleFederated = res.MaxAtomicFederated >= res.BigTaskEnergy
+	res.FeasibleGanged = res.MaxAtomicGanged >= res.BigTaskEnergy
+
+	// Phase-change burst: both systems fully charged, then transmit
+	// packets back-to-back until brownout.
+	packetTime := radio.StartupTime + radio.PacketTime(25)
+	fed.Charge(sys, 0, 1e6)
+	for {
+		if _, ok := fed.Spend(sys, "radio", load, packetTime); !ok {
+			break
+		}
+		res.BurstPacketsFederated++
+		if res.BurstPacketsFederated > 10_000 {
+			break
+		}
+	}
+	for {
+		if _, ok := sys.Discharge(ganged, load, packetTime); !ok {
+			break
+		}
+		res.BurstPacketsGanged++
+		if res.BurstPacketsGanged > 10_000 {
+			break
+		}
+	}
+	return res
+}
+
+// Table renders the federation comparison.
+func (r FederatedResult) Table() *Table {
+	return &Table{
+		Title:  "§7 — federated storage (UFoP) vs reconfigurable banks (same capacitors)",
+		Header: []string{"item", "federated", "Capybara (ganged)"},
+		Rows: [][]string{
+			{"total capacitance", r.TotalCapacitance.String(), r.TotalCapacitance.String()},
+			{"max atomic task energy", r.MaxAtomicFederated.String(), r.MaxAtomicGanged.String()},
+			{fmt.Sprintf("data dump (%v) feasible", r.BigTaskEnergy),
+				fmt.Sprint(r.FeasibleFederated), fmt.Sprint(r.FeasibleGanged)},
+			{"phase-change packet burst",
+				fmt.Sprint(r.BurstPacketsFederated), fmt.Sprint(r.BurstPacketsGanged)},
+		},
+	}
+}
+
+// CheckpointResult compares the checkpointing discipline against
+// task-restart granularities for one fixed computation.
+type CheckpointResult struct {
+	TotalOps   float64
+	Checkpoint checkpoint.Result
+	FineTasks  checkpoint.Result
+	CoarseTask checkpoint.Result
+}
+
+// Checkpointing runs the comparison: a 20 Mop computation on a 1 mF
+// buffer at 2 mW harvested.
+func Checkpointing() CheckpointResult {
+	const totalOps = 20e6
+	mk := func() *sim.Device {
+		tech := storage.Technology{
+			Name: "buf", UnitCap: units.MilliFarad, UnitVolume: 1, UnitESR: 0.05, RatedVoltage: 3.6,
+		}
+		bank := storage.MustBank("main", storage.GroupOf(tech, 1))
+		arr := reservoir.NewArray(bank, reservoir.NormallyOpen)
+		sys := power.NewSystem(harvest.RegulatedSupply{Max: 2 * units.MilliWatt, V: 3.0})
+		return sim.NewDevice(sys, arr, device.MSP430FR5969())
+	}
+	return CheckpointResult{
+		TotalOps:   totalOps,
+		Checkpoint: checkpoint.Run(mk(), checkpoint.DefaultConfig(), totalOps, 1e5),
+		FineTasks:  checkpoint.RunTaskRestart(mk(), 2.4, totalOps, 0.1e6, 1e5),
+		CoarseTask: checkpoint.RunTaskRestart(mk(), 2.4, totalOps, 2e6, 1e5),
+	}
+}
+
+// Table renders the checkpointing comparison.
+func (r CheckpointResult) Table() *Table {
+	row := func(name string, res checkpoint.Result) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%v", res.Done),
+			res.Elapsed.String(),
+			fmt.Sprintf("%.2f", res.ReexecutedOps/1e6),
+			res.OverheadTime.String(),
+			fmt.Sprint(res.Checkpoints),
+		}
+	}
+	return &Table{
+		Title:  fmt.Sprintf("§7 — checkpointing vs task restart (%.0f Mops, 1 mF buffer)", r.TotalOps/1e6),
+		Header: []string{"runtime", "done", "elapsed", "re-executed Mops", "snapshot overhead", "checkpoints"},
+		Rows: [][]string{
+			row("Hibernus-style checkpointing", r.Checkpoint),
+			row("task restart (0.1 Mop tasks)", r.FineTasks),
+			row("task restart (2 Mop tasks)", r.CoarseTask),
+		},
+	}
+}

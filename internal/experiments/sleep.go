@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capybara/internal/core"
+	"capybara/internal/device"
+	"capybara/internal/harvest"
+	"capybara/internal/metrics"
+	"capybara/internal/reservoir"
+	"capybara/internal/storage"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// SleepAblation tests §6.4's dismissal of the sleep-between-samples
+// alternative for fixed-capacity systems: "the batches will still be
+// separated by the long charge time of the large capacitor, because it
+// will discharge during sampling despite the sleep mode, due to the
+// power overhead of the power system that remains on."
+type SleepAblation struct {
+	Sleep         units.Seconds
+	Samples       int
+	MaxGap        units.Seconds
+	MeaningfulGap units.Seconds // median of the non-back-to-back gaps
+}
+
+// AblateSleep runs a fixed-capacity sampling loop with growing sleep
+// intervals and reports the inter-sample distribution.
+func AblateSleep() []SleepAblation {
+	const horizon units.Seconds = 900
+	var out []SleepAblation
+	for _, sleep := range []units.Seconds{0, 0.25, 1.0, 4.0} {
+		tmp := device.TMP36()
+		var rec metrics.Recorder
+		s := sleep
+		prog := task.MustProgram("sample",
+			&task.Task{Name: "sample", Run: func(c *task.Ctx) task.Next {
+				rec.RecordSample(c.Sample(tmp))
+				if s > 0 {
+					c.Sleep(s)
+				}
+				return "sample"
+			}},
+		)
+		bank := storage.MustBank("fixed",
+			storage.GroupFor(storage.CeramicX5R, 300*units.MicroFarad),
+			storage.GroupFor(storage.Tantalum, 1100*units.MicroFarad),
+			storage.GroupOf(storage.EDLC, 1))
+		inst, err := core.New(core.Config{
+			Variant: core.Fixed,
+			Source: harvest.SolarPanel{
+				PeakPower:          0.19 * units.MilliWatt,
+				OpenCircuitVoltage: 2.5,
+				Series:             2,
+				Light:              harvest.ConstantTrace(0.42),
+			},
+			MCU:        device.MSP430FR5969(),
+			Base:       bank,
+			SwitchKind: reservoir.NormallyOpen,
+		}, prog)
+		if err != nil {
+			panic(err) // static configuration
+		}
+		if err := inst.Run(horizon); err != nil {
+			panic(err)
+		}
+
+		gaps := metrics.AnalyzeGaps(rec.Samples(), nil)
+		var meaningful []units.Seconds
+		var max units.Seconds
+		for _, g := range gaps {
+			if g.Duration > max {
+				max = g.Duration
+			}
+			if g.Class != metrics.BackToBack {
+				meaningful = append(meaningful, g.Duration)
+			}
+		}
+		out = append(out, SleepAblation{
+			Sleep:         sleep,
+			Samples:       len(rec.Samples()),
+			MaxGap:        max,
+			MeaningfulGap: metrics.Summarize(meaningful).Median,
+		})
+	}
+	return out
+}
+
+// SleepTable renders the sleep ablation.
+func SleepTable(rows []SleepAblation) *Table {
+	t := &Table{
+		Title:  "Ablation — sleeping between samples on a fixed-capacity system (§6.4)",
+		Header: []string{"sleep", "samples", "median meaningful gap", "max gap"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Sleep.String(), fmt.Sprint(r.Samples),
+			r.MeaningfulGap.String(), r.MaxGap.String(),
+		})
+	}
+	return t
+}

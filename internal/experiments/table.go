@@ -1,0 +1,68 @@
+// Package experiments regenerates every figure and table of the
+// paper's evaluation (§6) plus the §5.2 mechanism comparison, as
+// structured results with renderable tables. The cmd/capybench CLI and
+// the repository benchmarks are thin wrappers over this package; the
+// per-experiment index lives in DESIGN.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// DefaultSeed is the seed every experiment uses unless overridden, so
+// published numbers regenerate bit-identically.
+const DefaultSeed int64 = 42
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders the table as CSV (header then rows; the title is
+// omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,165 @@
+// Package federated implements a UFoP-style federated energy storage
+// baseline (Hester et al., "Tragedy of the Coulombs", SenSys 2015),
+// which the paper compares against in §7: separate capacitors dedicated
+// to the MCU and each peripheral, charged in a priority cascade.
+//
+// Federation, like Capybara, avoids charging one worst-case capacitor
+// before doing any work. The difference the paper draws — "federation
+// rigidly allocates energy buffering to a hardware peripheral, not a
+// software task, making it less capable and flexible than Capybara" —
+// is what this package exists to demonstrate: a federated store's
+// capacity is fixed at design time, so no task can ever atomically
+// spend more than its own store holds, while Capybara can gang its
+// banks into one large mode.
+package federated
+
+import (
+	"fmt"
+	"strings"
+
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// Store is one federated capacitor dedicated to a single load.
+type Store struct {
+	// Name identifies the dedicated load ("mcu", "radio", …).
+	Name string
+	// Bank is the store's capacitor.
+	Bank *storage.Bank
+	// VTop is the store's charge-complete voltage.
+	VTop units.Voltage
+}
+
+// fullHysteresis is the comparator hysteresis below VTop within which a
+// store still counts as full (leakage between cascade steps must not
+// flap the priority ladder).
+const fullHysteresis units.Voltage = 1e-3
+
+// Full reports whether the store is charged to its top (within the
+// comparator hysteresis).
+func (s *Store) Full() bool { return s.Bank.Voltage() >= s.VTop-fullHysteresis }
+
+func (s *Store) String() string {
+	return fmt.Sprintf("%s[%v @ %v/%v]", s.Name, s.Bank.Capacitance(), s.Bank.Voltage(), s.VTop)
+}
+
+// Array is a federation: stores charged in strict priority order (the
+// UFoP charging cascade). All harvested power flows into the first
+// non-full store; only when it fills does charge cascade onward.
+type Array struct {
+	Stores []*Store
+}
+
+// NewArray builds a federation with the given priority order.
+func NewArray(stores ...*Store) *Array { return &Array{Stores: stores} }
+
+// Store returns the named store.
+func (a *Array) Store(name string) (*Store, bool) {
+	for _, s := range a.Stores {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// TotalCapacitance sums the federation.
+func (a *Array) TotalCapacitance() units.Capacitance {
+	var c units.Capacitance
+	for _, s := range a.Stores {
+		c += s.Bank.Capacitance()
+	}
+	return c
+}
+
+// MaxAtomicEnergy returns the largest energy any single task can spend
+// atomically: the biggest store's extractable band for the given load.
+// This is the federation's hard ceiling — no reconfiguration can gang
+// stores together.
+func (a *Array) MaxAtomicEnergy(sys *power.System, load units.Power) units.Energy {
+	var max units.Energy
+	for _, s := range a.Stores {
+		b := storage.MustBank("trial", s.Bank.Groups()...)
+		b.SetVoltage(s.VTop)
+		if e := sys.ExtractableEnergy(b, load); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Charge advances the cascade for dt starting at time t0: harvested
+// power fills stores strictly in priority order.
+func (a *Array) Charge(sys *power.System, t0, dt units.Seconds) {
+	const step units.Seconds = 0.25
+	for done := units.Seconds(0); done < dt; {
+		h := step
+		if done+h > dt {
+			h = dt - done
+		}
+		target := a.firstNonFull()
+		if target == nil {
+			// Everything full: nothing to do but leak.
+			a.leak(h)
+			done += h
+			continue
+		}
+		p := sys.ChargePower(target.Bank.Voltage(), t0+done)
+		if p <= 0 {
+			a.leak(h)
+			done += h
+			continue
+		}
+		// Advance to the store's top or the step end, whichever first.
+		toTop := units.TimeToCharge(target.Bank.Capacitance(), target.Bank.Voltage(), target.VTop, p)
+		if toTop < h {
+			h = toTop
+			if h <= 0 {
+				h = 1e-6
+			}
+		}
+		target.Bank.Charge(p, h)
+		if target.Bank.Voltage() > target.VTop {
+			target.Bank.SetVoltage(target.VTop)
+		}
+		a.leak(h)
+		done += h
+	}
+}
+
+func (a *Array) firstNonFull() *Store {
+	for _, s := range a.Stores {
+		if !s.Full() {
+			return s
+		}
+	}
+	return nil
+}
+
+func (a *Array) leak(dt units.Seconds) {
+	for _, s := range a.Stores {
+		s.Bank.Leak(dt)
+	}
+}
+
+// Spend runs a load from the named store for dt. It returns the time
+// sustained and whether it completed (false on brownout or unknown
+// store). Other stores are untouched — the federation's isolation
+// property.
+func (a *Array) Spend(sys *power.System, name string, load units.Power, dt units.Seconds) (units.Seconds, bool) {
+	s, ok := a.Store(name)
+	if !ok {
+		return 0, false
+	}
+	return sys.Discharge(s.Bank, load, dt)
+}
+
+func (a *Array) String() string {
+	parts := make([]string, 0, len(a.Stores))
+	for _, s := range a.Stores {
+		parts = append(parts, s.String())
+	}
+	return "federation[" + strings.Join(parts, " ") + "]"
+}

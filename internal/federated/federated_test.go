@@ -1,0 +1,138 @@
+package federated
+
+import (
+	"testing"
+
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+func testSys() *power.System {
+	return power.NewSystem(harvest.RegulatedSupply{Max: 5 * units.MilliWatt, V: 3.0})
+}
+
+func testArray() *Array {
+	mcu := &Store{
+		Name: "mcu",
+		Bank: storage.MustBank("mcu", storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad)),
+		VTop: 2.4,
+	}
+	radio := &Store{
+		Name: "radio",
+		Bank: storage.MustBank("radio", storage.GroupOf(storage.EDLC, 2)),
+		VTop: 2.4,
+	}
+	return NewArray(mcu, radio)
+}
+
+func TestCascadePriority(t *testing.T) {
+	a := testArray()
+	sys := testSys()
+	// A short charge fills the high-priority MCU store first; the radio
+	// store must still be (nearly) empty.
+	a.Charge(sys, 0, 2)
+	mcu, _ := a.Store("mcu")
+	radio, _ := a.Store("radio")
+	if !mcu.Full() {
+		t.Fatalf("mcu store not full after 2 s: %v", mcu.Bank.Voltage())
+	}
+	if radio.Full() {
+		t.Fatal("radio store filled before the cascade should reach it")
+	}
+	// A long charge cascades into the radio store.
+	a.Charge(sys, 2, 60)
+	if !radio.Full() {
+		t.Fatalf("radio store not full after a minute: %v", radio.Bank.Voltage())
+	}
+}
+
+func TestCascadeRefillsPriorityFirst(t *testing.T) {
+	a := testArray()
+	sys := testSys()
+	a.Charge(sys, 0, 120)
+	// Spend from the MCU store; the next charge must refill it before
+	// the radio store receives anything more.
+	if _, ok := a.Spend(sys, "mcu", 2*units.MilliWatt, 0.1); !ok {
+		t.Fatal("mcu spend failed")
+	}
+	radio, _ := a.Store("radio")
+	vRadio := radio.Bank.Voltage()
+	a.Charge(sys, 120, 0.05) // brief charge: must go to the mcu store
+	mcu, _ := a.Store("mcu")
+	if mcu.Bank.Voltage() <= 1.0 {
+		t.Fatal("mcu store not being refilled")
+	}
+	if radio.Bank.Voltage() > vRadio {
+		t.Fatal("radio store charged while a higher-priority store was empty")
+	}
+}
+
+func TestSpendIsolation(t *testing.T) {
+	a := testArray()
+	sys := testSys()
+	a.Charge(sys, 0, 120)
+	mcu, _ := a.Store("mcu")
+	vBefore := mcu.Bank.Voltage()
+	// Draining the radio store must not touch the MCU store.
+	if _, ok := a.Spend(sys, "radio", 20*units.MilliWatt, 0.1); !ok {
+		t.Fatal("radio spend failed")
+	}
+	if mcu.Bank.Voltage() != vBefore {
+		t.Fatal("federation isolation violated")
+	}
+	if _, ok := a.Spend(sys, "nonexistent", units.MilliWatt, 1); ok {
+		t.Fatal("unknown store spend succeeded")
+	}
+}
+
+func TestMaxAtomicEnergyIsTheRigidCeiling(t *testing.T) {
+	a := testArray()
+	sys := testSys()
+	load := 29 * units.MilliWatt
+	ceiling := a.MaxAtomicEnergy(sys, load)
+	if ceiling <= 0 {
+		t.Fatal("no atomic capacity at all")
+	}
+	// The same total capacitance ganged into ONE Capybara-style bank
+	// supports a strictly larger atomic task.
+	ganged := storage.MustBank("ganged",
+		storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+		storage.GroupOf(storage.EDLC, 2))
+	ganged.SetVoltage(2.4)
+	combined := sys.ExtractableEnergy(ganged, load)
+	if combined <= ceiling {
+		t.Fatalf("ganged bank (%v) should exceed the federated ceiling (%v)", combined, ceiling)
+	}
+}
+
+func TestChargeWithDeadSource(t *testing.T) {
+	a := testArray()
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 0, V: 3.0})
+	a.Charge(sys, 0, 10)
+	mcu, _ := a.Store("mcu")
+	if mcu.Bank.Voltage() != 0 {
+		t.Fatal("charged from a dead source")
+	}
+}
+
+func TestStringersAndLookup(t *testing.T) {
+	a := testArray()
+	if a.String() == "" {
+		t.Error("array stringer empty")
+	}
+	if a.TotalCapacitance() <= 15*units.MilliFarad {
+		t.Errorf("total capacitance = %v", a.TotalCapacitance())
+	}
+	if _, ok := a.Store("mcu"); !ok {
+		t.Error("store lookup failed")
+	}
+	if _, ok := a.Store("gps"); ok {
+		t.Error("phantom store found")
+	}
+	mcu, _ := a.Store("mcu")
+	if mcu.String() == "" {
+		t.Error("store stringer empty")
+	}
+}

@@ -1,0 +1,152 @@
+package harvest
+
+import (
+	"fmt"
+	"math"
+
+	"capybara/internal/units"
+)
+
+// PVPanel models a photovoltaic panel with a single-diode IV
+// characteristic, the model behind the paper's maximum-power-point
+// tracking input booster (§7: "Capybara leverages maximum power point
+// tracking in its input booster"):
+//
+//	I(V) = Iph − I0·(exp(V/Vt) − 1)
+//
+// with the photocurrent Iph proportional to irradiance and the dark
+// current I0 fixed by the full-sun open-circuit voltage. The booster
+// operates the panel at the voltage maximizing P = V·I (the MPP),
+// which this type computes by golden-section search.
+//
+// PVPanel is the physically-detailed alternative to the simpler
+// SolarPanel; both implement Source.
+type PVPanel struct {
+	// ShortCircuitCurrent is Isc at full irradiance.
+	ShortCircuitCurrent units.Current
+	// OpenCircuitVoltage is Voc at full irradiance.
+	OpenCircuitVoltage units.Voltage
+	// ThermalVoltage is the lumped diode factor n·Vt (≈ 50–80 mV for a
+	// small series string at room temperature). Zero selects 60 mV.
+	ThermalVoltage units.Voltage
+	// Series strings multiply voltage; Parallel strings multiply
+	// current. Zero means 1.
+	Series, Parallel int
+	// Light is the irradiance trace; nil means constant full sun.
+	Light Trace
+}
+
+func (p PVPanel) vt() float64 {
+	if p.ThermalVoltage > 0 {
+		return float64(p.ThermalVoltage)
+	}
+	return 0.06
+}
+
+func (p PVPanel) dims() (series, parallel float64) {
+	series, parallel = float64(p.Series), float64(p.Parallel)
+	if series < 1 {
+		series = 1
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	return series, parallel
+}
+
+func (p PVPanel) level(t units.Seconds) float64 {
+	if p.Light == nil {
+		return 1
+	}
+	return clamp01(p.Light(t))
+}
+
+// darkCurrent returns I0 from the full-sun operating point:
+// 0 = Isc − I0·(exp(Voc/Vt) − 1).
+func (p PVPanel) darkCurrent() float64 {
+	e := math.Exp(float64(p.OpenCircuitVoltage)/p.vt()) - 1
+	if e <= 0 {
+		return 0
+	}
+	return float64(p.ShortCircuitCurrent) / e
+}
+
+// Current returns the panel current at terminal voltage v and time t
+// (for one series string, scaled by parallel strings).
+func (p PVPanel) Current(v units.Voltage, t units.Seconds) units.Current {
+	series, parallel := p.dims()
+	lvl := p.level(t)
+	if lvl <= 0 {
+		return 0
+	}
+	perCell := float64(v) / series
+	i := float64(p.ShortCircuitCurrent)*lvl - p.darkCurrent()*(math.Exp(perCell/p.vt())-1)
+	if i < 0 {
+		i = 0
+	}
+	return units.Current(i * parallel)
+}
+
+// MPP returns the maximum power point at time t: the operating voltage
+// and the power there.
+func (p PVPanel) MPP(t units.Seconds) (units.Voltage, units.Power) {
+	series, _ := p.dims()
+	lvl := p.level(t)
+	if lvl <= 0 {
+		return 0, 0
+	}
+	// Voc shrinks logarithmically with irradiance.
+	voc := (float64(p.OpenCircuitVoltage) + p.vt()*math.Log(lvl)) * series
+	if voc <= 0 {
+		return 0, 0
+	}
+	power := func(v float64) float64 {
+		return v * float64(p.Current(units.Voltage(v), t))
+	}
+	// Golden-section search over [0, voc]: P(V) is unimodal for the
+	// single-diode model.
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, voc
+	for i := 0; i < 80; i++ {
+		a := hi - (hi-lo)*phi
+		b := lo + (hi-lo)*phi
+		if power(a) < power(b) {
+			lo = a
+		} else {
+			hi = b
+		}
+	}
+	v := (lo + hi) / 2
+	return units.Voltage(v), units.Power(power(v))
+}
+
+// PowerAt implements Source: the MPPT booster extracts the MPP power.
+func (p PVPanel) PowerAt(t units.Seconds) units.Power {
+	_, pw := p.MPP(t)
+	return pw
+}
+
+// VoltageAt implements Source: the booster holds the panel at the MPP
+// voltage.
+func (p PVPanel) VoltageAt(t units.Seconds) units.Voltage {
+	v, _ := p.MPP(t)
+	return v
+}
+
+// FillFactor returns the panel's fill factor at full sun:
+// P_mpp / (Voc · Isc), a standard quality figure (~0.6–0.8).
+func (p PVPanel) FillFactor() float64 {
+	series, parallel := p.dims()
+	_, pmpp := p.MPP(0)
+	denom := float64(p.OpenCircuitVoltage) * series * float64(p.ShortCircuitCurrent) * parallel
+	if denom <= 0 {
+		return 0
+	}
+	return float64(pmpp) / denom
+}
+
+func (p PVPanel) String() string {
+	series, parallel := p.dims()
+	return fmt.Sprintf("PV %gS%gP (Isc %v, Voc %v, FF %.2f)",
+		series, parallel, p.ShortCircuitCurrent, p.OpenCircuitVoltage, p.FillFactor())
+}

@@ -1,0 +1,121 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+
+	"capybara/internal/units"
+)
+
+func testPanel() PVPanel {
+	return PVPanel{
+		ShortCircuitCurrent: 5 * units.MilliAmp,
+		OpenCircuitVoltage:  2.0,
+	}
+}
+
+func TestPVCurrentEndpoints(t *testing.T) {
+	p := testPanel()
+	// Short circuit: the full photocurrent flows.
+	if got := p.Current(0, 0); math.Abs(float64(got)-5e-3) > 1e-9 {
+		t.Fatalf("Isc = %v", got)
+	}
+	// Open circuit: no current at Voc.
+	if got := p.Current(2.0, 0); float64(got) > 1e-6 {
+		t.Fatalf("I(Voc) = %v, want ≈0", got)
+	}
+	// Beyond Voc the diode clamps at zero (no negative current).
+	if got := p.Current(3.0, 0); got != 0 {
+		t.Fatalf("I(V>Voc) = %v", got)
+	}
+}
+
+func TestPVCurrentMonotoneDecreasing(t *testing.T) {
+	p := testPanel()
+	prev := p.Current(0, 0)
+	for v := 0.1; v <= 2.0; v += 0.1 {
+		cur := p.Current(units.Voltage(v), 0)
+		if cur > prev {
+			t.Fatalf("IV curve not monotone at %g V", v)
+		}
+		prev = cur
+	}
+}
+
+func TestMPPIsMaximal(t *testing.T) {
+	p := testPanel()
+	vmpp, pmpp := p.MPP(0)
+	if vmpp <= 0 || vmpp >= p.OpenCircuitVoltage {
+		t.Fatalf("Vmpp = %v outside (0, Voc)", vmpp)
+	}
+	// The MPP beats nearby operating points.
+	for _, dv := range []units.Voltage{-0.1, 0.1} {
+		v := vmpp + dv
+		pw := units.Power(float64(v) * float64(p.Current(v, 0)))
+		if pw > pmpp {
+			t.Fatalf("P(%v)=%v exceeds MPP %v", v, pw, pmpp)
+		}
+	}
+}
+
+func TestFillFactorPlausible(t *testing.T) {
+	ff := testPanel().FillFactor()
+	if ff < 0.5 || ff > 0.95 {
+		t.Fatalf("fill factor = %.2f, want a plausible 0.5–0.95", ff)
+	}
+}
+
+func TestPVScalesWithLight(t *testing.T) {
+	dim := testPanel()
+	dim.Light = ConstantTrace(0.25)
+	full := testPanel()
+	pDim := dim.PowerAt(0)
+	pFull := full.PowerAt(0)
+	// Power falls slightly super-linearly with irradiance (Voc shrinks
+	// too): between 15 % and 25 % of full power at quarter sun.
+	ratio := float64(pDim) / float64(pFull)
+	if ratio < 0.15 || ratio > 0.27 {
+		t.Fatalf("quarter-sun power ratio = %.2f", ratio)
+	}
+	dark := testPanel()
+	dark.Light = ConstantTrace(0)
+	if dark.PowerAt(0) != 0 || dark.VoltageAt(0) != 0 {
+		t.Fatal("dark panel produced power")
+	}
+}
+
+func TestPVSeriesParallelScaling(t *testing.T) {
+	single := testPanel()
+	quad := testPanel()
+	quad.Series, quad.Parallel = 2, 2
+	v1, p1 := single.MPP(0)
+	v4, p4 := quad.MPP(0)
+	if math.Abs(float64(v4)/float64(v1)-2) > 0.05 {
+		t.Fatalf("series voltage scaling: %v vs %v", v4, v1)
+	}
+	if math.Abs(float64(p4)/float64(p1)-4) > 0.1 {
+		t.Fatalf("2S2P power scaling: %v vs %v", p4, p1)
+	}
+}
+
+func TestPVAsSource(t *testing.T) {
+	// The MPPT panel plugs into the power system like any Source.
+	var src Source = testPanel()
+	if src.PowerAt(0) <= 0 || src.VoltageAt(0) <= 0 {
+		t.Fatal("PVPanel does not behave as a Source")
+	}
+	if testPanel().String() == "" {
+		t.Fatal("empty stringer")
+	}
+}
+
+func TestPVDefaultThermalVoltage(t *testing.T) {
+	p := testPanel()
+	if p.vt() != 0.06 {
+		t.Fatalf("default Vt = %g", p.vt())
+	}
+	p.ThermalVoltage = 0.05
+	if p.vt() != 0.05 {
+		t.Fatalf("override Vt = %g", p.vt())
+	}
+}

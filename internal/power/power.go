@@ -1,0 +1,335 @@
+// Package power models Capybara's power distribution circuit (paper
+// §5.1): the input booster with its cold-start phase and bypass-diode
+// optimization, and the output booster that regulates the load voltage
+// and extracts energy from high-ESR capacitors down to a cutoff.
+//
+// The package charges and discharges any Store — a single fixed bank or
+// the active set of a reconfigurable reservoir.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// Store is the electrical view of an energy buffer: total capacitance,
+// terminal voltage, and effective series resistance. *storage.Bank and
+// the reservoir's active set both implement it.
+type Store interface {
+	Capacitance() units.Capacitance
+	Voltage() units.Voltage
+	SetVoltage(units.Voltage)
+	ESR() units.Resistance
+}
+
+// InputBooster models the boost converter between harvester and
+// storage. Below ColdStart volts of stored voltage the converter runs
+// in its inefficient cold-start phase (paper: cold start "substantially
+// slows charging of large capacitors at low input power").
+type InputBooster struct {
+	// Efficiency is the conversion efficiency once started, in (0, 1].
+	Efficiency float64
+	// ColdStart is the storage voltage below which the booster has not
+	// yet started and must trickle-charge.
+	ColdStart units.Voltage
+	// ColdStartEfficiency is the conversion efficiency during cold
+	// start; an order of magnitude below Efficiency.
+	ColdStartEfficiency float64
+	// MinSourceVoltage is the minimum harvester voltage the booster
+	// can work from at all.
+	MinSourceVoltage units.Voltage
+}
+
+// BypassDiode models the paper's bypass optimization: while the storage
+// voltage is below the cold-start threshold and also below the
+// harvester voltage minus the diode drop, capacitors charge directly
+// from the harvester, skipping the cold-start penalty.
+type BypassDiode struct {
+	Enabled bool
+	Drop    units.Voltage
+}
+
+// OutputBooster models the regulated output stage. It produces Vout for
+// the load while drawing the storage down to a cutoff voltage set by
+// MinInput and the ESR droop under load.
+type OutputBooster struct {
+	// Vout is the regulated output voltage (e.g. 2.5 V for the gesture
+	// sensor, 2.0 V for the BLE radio).
+	Vout units.Voltage
+	// Efficiency is the conversion efficiency in (0, 1].
+	Efficiency float64
+	// MinInput is the minimum boostable storage voltage (1.6 V on the
+	// paper's prototype).
+	MinInput units.Voltage
+	// Quiescent is the power-system overhead drawn from storage while
+	// the device operates (it is why sleeping between samples still
+	// drains the big capacitor, §6.4).
+	Quiescent units.Power
+}
+
+// Defaults match the scale of the paper's prototype.
+func DefaultInputBooster() InputBooster {
+	return InputBooster{
+		Efficiency:          0.75,
+		ColdStart:           1.6,
+		ColdStartEfficiency: 0.02,
+		MinSourceVoltage:    0.3,
+	}
+}
+
+func DefaultBypass() BypassDiode { return BypassDiode{Enabled: true, Drop: 0.3} }
+
+func DefaultOutputBooster() OutputBooster {
+	return OutputBooster{
+		Vout:       2.5,
+		Efficiency: 0.8,
+		MinInput:   1.6,
+		Quiescent:  150 * units.MicroWatt,
+	}
+}
+
+// System composes a harvester with the three distribution circuits.
+type System struct {
+	Source harvest.Source
+	In     InputBooster
+	Bypass BypassDiode
+	Out    OutputBooster
+}
+
+// NewSystem wires a source to default boosters.
+func NewSystem(src harvest.Source) *System {
+	return &System{
+		Source: src,
+		In:     DefaultInputBooster(),
+		Bypass: DefaultBypass(),
+		Out:    DefaultOutputBooster(),
+	}
+}
+
+// ChargePower returns the effective power flowing into a store at
+// voltage v at time t, accounting for the charge path in effect:
+// bypass diode, cold-start trickle, or started booster.
+func (s *System) ChargePower(v units.Voltage, t units.Seconds) units.Power {
+	raw := s.Source.PowerAt(t)
+	if raw <= 0 {
+		return 0
+	}
+	srcV := s.Source.VoltageAt(t)
+	if srcV < s.In.MinSourceVoltage {
+		return 0
+	}
+	if v >= s.In.ColdStart {
+		return units.Power(float64(raw) * s.In.Efficiency)
+	}
+	// Below cold start: prefer the bypass path when the harvester
+	// voltage can forward-bias the keeper diode.
+	if s.Bypass.Enabled && srcV-s.Bypass.Drop > v {
+		// Direct diode charging forfeits only the diode drop.
+		frac := 1 - float64(s.Bypass.Drop)/float64(srcV)
+		if frac < 0 {
+			frac = 0
+		}
+		return units.Power(float64(raw) * frac)
+	}
+	return units.Power(float64(raw) * s.In.ColdStartEfficiency)
+}
+
+// bypassCeiling returns the highest voltage the bypass path can charge
+// to at time t: one diode drop below the harvester voltage, and never
+// above the cold-start threshold (past which the booster takes over).
+func (s *System) bypassCeiling(t units.Seconds) units.Voltage {
+	ceil := s.Source.VoltageAt(t) - s.Bypass.Drop
+	if ceil > s.In.ColdStart {
+		ceil = s.In.ColdStart
+	}
+	return ceil
+}
+
+// maxChargeStep bounds analytic charge integration so that time-varying
+// sources are re-sampled often enough.
+const maxChargeStep units.Seconds = 0.5
+
+// AdvanceCharge charges the store for dt starting at time t0, advancing
+// through the bypass / cold-start / normal phases. It returns the
+// voltage reached. Charging stops at ceiling (typically the bank's
+// rated voltage or the configured Vtop); pass 0 for no ceiling.
+func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Voltage) units.Voltage {
+	t := t0
+	end := t0 + dt
+	for t < end {
+		v := st.Voltage()
+		if ceiling > 0 && v >= ceiling {
+			return v
+		}
+		step := end - t
+		if step > maxChargeStep {
+			step = maxChargeStep
+		}
+		p := s.ChargePower(v, t)
+		if p <= 0 {
+			t += step
+			continue
+		}
+		// Stop the analytic step at the next phase boundary so the
+		// charge power is constant within it.
+		limit := ceiling
+		if v < s.In.ColdStart {
+			b := s.In.ColdStart
+			if s.Bypass.Enabled {
+				if c := s.bypassCeiling(t); c > v && c < b {
+					b = c
+				}
+			}
+			if limit <= 0 || b < limit {
+				limit = b
+			}
+		}
+		if limit > 0 {
+			tb := units.TimeToCharge(st.Capacitance(), v, limit, p)
+			if tb <= step {
+				// Snap exactly onto the boundary voltage so callers can
+				// compare against it without float-asymptote drift.
+				st.SetVoltage(limit)
+				t += tb
+				continue
+			}
+		}
+		st.SetVoltage(units.ChargeVoltageAfter(st.Capacitance(), v, p, step))
+		t += step
+	}
+	if ceiling > 0 && st.Voltage() > ceiling {
+		st.SetVoltage(ceiling)
+	}
+	return st.Voltage()
+}
+
+// TimeToChargeTo returns how long charging from time t0 takes to bring
+// the store up to target, bounded by maxWait. If the target is not
+// reached within maxWait, it returns maxWait and false. The store's
+// voltage is left at the reached value.
+func (s *System) TimeToChargeTo(st Store, target units.Voltage, t0, maxWait units.Seconds) (units.Seconds, bool) {
+	if st.Voltage() >= target {
+		return 0, true
+	}
+	elapsed := units.Seconds(0)
+	for elapsed < maxWait {
+		v := st.Voltage()
+		p := s.ChargePower(v, t0+elapsed)
+		if p <= 0 {
+			// Dead air: skip forward one step.
+			elapsed += maxChargeStep
+			continue
+		}
+		// Integrate within the current phase.
+		limit := target
+		if v < s.In.ColdStart {
+			b := s.In.ColdStart
+			if s.Bypass.Enabled {
+				if c := s.bypassCeiling(t0 + elapsed); c > v && c < b {
+					b = c
+				}
+			}
+			if b < limit {
+				limit = b
+			}
+		}
+		need := units.TimeToCharge(st.Capacitance(), v, limit, p)
+		step := need
+		if step > maxChargeStep {
+			step = maxChargeStep
+		}
+		if step <= 0 {
+			step = 1e-6
+		}
+		if elapsed+step > maxWait {
+			step = maxWait - elapsed
+		}
+		st.SetVoltage(units.ChargeVoltageAfter(st.Capacitance(), v, p, step))
+		elapsed += step
+		if st.Voltage() >= target-1e-12 {
+			st.SetVoltage(target)
+			return elapsed, true
+		}
+	}
+	return maxWait, false
+}
+
+// StoreDraw returns the power drawn from storage to run a load of
+// loadPower at the regulated output, including converter loss and
+// quiescent overhead.
+func (s *System) StoreDraw(loadPower units.Power) units.Power {
+	eff := s.Out.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	return units.Power(float64(loadPower)/eff) + s.Out.Quiescent
+}
+
+// CutoffVoltage returns the storage voltage at which the output booster
+// browns out for a given load: the voltage where the ESR droop drags
+// the effective input below MinInput. Solving
+// V − (P/V)·ESR = MinInput gives V = (m + √(m² + 4·P·R)) / 2.
+// High ESR or high power raises the cutoff — the Fig. 4 effect that
+// strands energy in ultra-compact supercaps.
+func (s *System) CutoffVoltage(esr units.Resistance, loadPower units.Power) units.Voltage {
+	m := float64(s.Out.MinInput)
+	pr := float64(s.StoreDraw(loadPower)) * float64(esr)
+	return units.Voltage((m + math.Sqrt(m*m+4*pr)) / 2)
+}
+
+// CanSupply reports whether the store can currently power the load at
+// all (its voltage is above the load's cutoff).
+func (s *System) CanSupply(st Store, loadPower units.Power) bool {
+	return st.Voltage() > s.CutoffVoltage(st.ESR(), loadPower)
+}
+
+// Discharge runs a load drawing loadPower for up to dt and returns the
+// time sustained. If the store hits the load's cutoff voltage first,
+// the sustained time is shorter than dt and ok is false (brownout).
+func (s *System) Discharge(st Store, loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
+	if dt <= 0 {
+		return 0, true
+	}
+	draw := s.StoreDraw(loadPower)
+	cut := s.CutoffVoltage(st.ESR(), loadPower)
+	v := st.Voltage()
+	if v <= cut {
+		return 0, false
+	}
+	sustain := units.TimeToDischarge(st.Capacitance(), v, cut, draw)
+	if sustain >= dt {
+		st.SetVoltage(units.DischargeVoltageAfter(st.Capacitance(), v, draw, dt))
+		return dt, true
+	}
+	st.SetVoltage(cut)
+	return sustain, false
+}
+
+// OperatingTime returns how long the store could sustain loadPower from
+// its present voltage without charging.
+func (s *System) OperatingTime(st Store, loadPower units.Power) units.Seconds {
+	draw := s.StoreDraw(loadPower)
+	cut := s.CutoffVoltage(st.ESR(), loadPower)
+	return units.TimeToDischarge(st.Capacitance(), st.Voltage(), cut, draw)
+}
+
+// ExtractableEnergy returns the energy the output booster can pull from
+// the store for a load of loadPower: the band between the present
+// voltage and the ESR-dependent cutoff, scaled by converter efficiency.
+func (s *System) ExtractableEnergy(st Store, loadPower units.Power) units.Energy {
+	cut := s.CutoffVoltage(st.ESR(), loadPower)
+	band := units.BandEnergy(st.Capacitance(), st.Voltage(), cut)
+	eff := s.Out.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	return units.Energy(float64(band) * eff)
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("power system (in η=%.2f coldstart %v, bypass %v, out %v η=%.2f min %v)",
+		s.In.Efficiency, s.In.ColdStart, s.Bypass.Enabled, s.Out.Vout, s.Out.Efficiency, s.Out.MinInput)
+}

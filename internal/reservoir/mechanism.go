@@ -1,0 +1,207 @@
+package reservoir
+
+import (
+	"fmt"
+
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// Mechanism abstracts the three ways §5.2 considers for reconfiguring
+// stored energy E = ½C(Vtop² − Vbottom²): controlling C (Capybara's
+// switched banks), controlling Vtop (a non-volatile digital
+// potentiometer plus voltage supervisor), and controlling Vbottom (the
+// MCU's built-in comparator). The comparison table (cold-start time,
+// area, leakage, endurance) is regenerated from these models.
+type Mechanism interface {
+	// Name identifies the mechanism.
+	Name() string
+	// ColdStartTime returns the time from completely empty storage to
+	// first boot for a task needing taskEnergy, on power system sys.
+	ColdStartTime(sys *power.System, taskEnergy units.Energy) units.Seconds
+	// Area returns the mechanism's board area.
+	Area() units.Area
+	// LeakCurrent returns the mechanism's standing leakage.
+	LeakCurrent() units.Current
+	// WriteEndurance returns the number of reconfigurations the
+	// mechanism survives; 0 means unlimited.
+	WriteEndurance() int
+}
+
+// Baseline hardware figures for the mechanism comparison. The paper
+// reports the Vtop prototype (EEPROM digital potentiometer) occupies
+// twice the area and leaks 1.5× the current of the switch module.
+const (
+	switchLeakCurrent units.Current = 100e-9
+	potWriteEndurance               = 1_000_000 // EEPROM wear limit
+)
+
+// SwitchedBankMechanism is Capybara's choice: control C with an array
+// of switched banks. Cold start only needs the smallest bank charged to
+// the minimum boostable voltage.
+type SwitchedBankMechanism struct {
+	// SmallBank is the default (smallest) bank used for cold start.
+	SmallBank *storage.Bank
+	// Banks is the number of switched banks (for area accounting).
+	Banks int
+}
+
+// Name implements Mechanism.
+func (m SwitchedBankMechanism) Name() string { return "switched-C" }
+
+// ColdStartTime implements Mechanism: charge only the small bank to the
+// output booster's minimum, boot, then (not counted here) reconfigure.
+func (m SwitchedBankMechanism) ColdStartTime(sys *power.System, _ units.Energy) units.Seconds {
+	b := cloneBank(m.SmallBank)
+	dt, ok := sys.TimeToChargeTo(b, sys.Out.MinInput, 0, 1e7)
+	if !ok {
+		return units.Seconds(1e7)
+	}
+	return dt
+}
+
+// Area implements Mechanism.
+func (m SwitchedBankMechanism) Area() units.Area { return SwitchArea * units.Area(m.Banks) }
+
+// LeakCurrent implements Mechanism.
+func (m SwitchedBankMechanism) LeakCurrent() units.Current {
+	return switchLeakCurrent * units.Current(m.Banks)
+}
+
+// WriteEndurance implements Mechanism: MOSFET switches do not wear.
+func (m SwitchedBankMechanism) WriteEndurance() int { return 0 }
+
+// VtopMechanism controls the top charge threshold with a non-volatile
+// digital potentiometer and a voltage supervisor. All capacitance is
+// always connected, so cold start must charge the full capacitance to
+// the minimum boostable voltage before any useful energy accumulates.
+type VtopMechanism struct {
+	// FullBank is the complete, always-connected storage.
+	FullBank *storage.Bank
+	// Banks is the number of logical capacity levels (for area parity
+	// with the switch design).
+	Banks int
+}
+
+// Name implements Mechanism.
+func (m VtopMechanism) Name() string { return "Vtop-threshold" }
+
+// ColdStartTime implements Mechanism.
+func (m VtopMechanism) ColdStartTime(sys *power.System, _ units.Energy) units.Seconds {
+	b := cloneBank(m.FullBank)
+	dt, ok := sys.TimeToChargeTo(b, sys.Out.MinInput, 0, 1e7)
+	if !ok {
+		return units.Seconds(1e7)
+	}
+	return dt
+}
+
+// Area implements Mechanism: twice the switch area (§5.2).
+func (m VtopMechanism) Area() units.Area { return 2 * SwitchArea * units.Area(m.Banks) }
+
+// LeakCurrent implements Mechanism: 1.5× the switch leakage (§5.2).
+func (m VtopMechanism) LeakCurrent() units.Current {
+	return units.Current(1.5 * float64(switchLeakCurrent) * float64(m.Banks))
+}
+
+// WriteEndurance implements Mechanism: EEPROM potentiometer wear.
+func (m VtopMechanism) WriteEndurance() int { return potWriteEndurance }
+
+// VbottomMechanism controls the discharge floor with the MCU's built-in
+// comparator. Cold start is the worst: the full capacitance must charge
+// all the way to the top threshold before the first boot, regardless of
+// how little energy the task needs (§5.2: "the capacitor must charge to
+// the top threshold even for a low atomicity requirement").
+type VbottomMechanism struct {
+	FullBank *storage.Bank
+	// Vtop is the fixed top threshold the capacitor charges to.
+	Vtop units.Voltage
+}
+
+// Name implements Mechanism.
+func (m VbottomMechanism) Name() string { return "Vbottom-threshold" }
+
+// ColdStartTime implements Mechanism.
+func (m VbottomMechanism) ColdStartTime(sys *power.System, _ units.Energy) units.Seconds {
+	b := cloneBank(m.FullBank)
+	target := m.Vtop
+	if target <= 0 {
+		target = b.RatedVoltage()
+	}
+	dt, ok := sys.TimeToChargeTo(b, target, 0, 1e7)
+	if !ok {
+		return units.Seconds(1e7)
+	}
+	return dt
+}
+
+// Area implements Mechanism: uses the MCU's comparator, no extra parts.
+func (m VbottomMechanism) Area() units.Area { return 0 }
+
+// LeakCurrent implements Mechanism: the comparator runs while
+// discharging only; standing leakage is negligible.
+func (m VbottomMechanism) LeakCurrent() units.Current { return 0 }
+
+// WriteEndurance implements Mechanism.
+func (m VbottomMechanism) WriteEndurance() int { return 0 }
+
+func cloneBank(b *storage.Bank) *storage.Bank {
+	return storage.MustBank(b.Name(), b.Groups()...)
+}
+
+// Splitter is the CapySat simplification (§6.6): a diode-based splitter
+// that always connects both banks to the harvester but dedicates one
+// bank to each of two MCUs. No switches, no reconfiguration — the
+// mapping of banks to loads is fixed, yet each load still sees storage
+// matched to its energy mode. It occupies 20 % of the switch area.
+type Splitter struct {
+	BankA, BankB *storage.Bank
+	// Drop is the splitter diode forward drop.
+	Drop units.Voltage
+}
+
+// Area returns the splitter's board area (20 % of a switch module).
+func (s *Splitter) Area() units.Area { return SwitchArea / 5 }
+
+// ChargeBoth divides harvested charge power between the two banks for
+// dt at time t0. Each bank charges through its own diode; power splits
+// proportionally to each bank's headroom need (a bank at its rated
+// voltage stops drawing).
+func (s *Splitter) ChargeBoth(sys *power.System, t0, dt units.Seconds) {
+	const step = units.Seconds(0.25)
+	for done := units.Seconds(0); done < dt; done += step {
+		h := step
+		if done+h > dt {
+			h = dt - done
+		}
+		t := t0 + done
+		aOpen := s.BankA.Voltage() < s.BankA.RatedVoltage()
+		bOpen := s.BankB.Voltage() < s.BankB.RatedVoltage()
+		switch {
+		case aOpen && bOpen:
+			half := halfPower(sys, s.lowest(), t)
+			s.BankA.Charge(half, h)
+			s.BankB.Charge(half, h)
+		case aOpen:
+			s.BankA.Charge(sys.ChargePower(s.BankA.Voltage(), t), h)
+		case bOpen:
+			s.BankB.Charge(sys.ChargePower(s.BankB.Voltage(), t), h)
+		}
+	}
+}
+
+func (s *Splitter) lowest() units.Voltage {
+	if s.BankA.Voltage() < s.BankB.Voltage() {
+		return s.BankA.Voltage()
+	}
+	return s.BankB.Voltage()
+}
+
+func halfPower(sys *power.System, v units.Voltage, t units.Seconds) units.Power {
+	return sys.ChargePower(v, t) / 2
+}
+
+func (s *Splitter) String() string {
+	return fmt.Sprintf("splitter[%v | %v]", s.BankA, s.BankB)
+}

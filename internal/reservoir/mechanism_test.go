@@ -1,0 +1,116 @@
+package reservoir
+
+import (
+	"testing"
+
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+func testPowerSystem() *power.System {
+	return power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+}
+
+func mechanisms() (SwitchedBankMechanism, VtopMechanism, VbottomMechanism) {
+	full := storage.MustBank("full",
+		storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+		storage.GroupOf(storage.EDLC, 9))
+	sw := SwitchedBankMechanism{SmallBank: smallBank(), Banks: 2}
+	vt := VtopMechanism{FullBank: full, Banks: 2}
+	vb := VbottomMechanism{FullBank: full, Vtop: 3.3}
+	return sw, vt, vb
+}
+
+func TestColdStartOrdering(t *testing.T) {
+	// §5.2: "The shortest cold-start time is achieved by controlling C"
+	// and "With Vbottom control, cold-start time is longer than with
+	// Vtop".
+	sw, vt, vb := mechanisms()
+	taskE := 10 * units.MilliJoule
+	tSw := sw.ColdStartTime(testPowerSystem(), taskE)
+	tVt := vt.ColdStartTime(testPowerSystem(), taskE)
+	tVb := vb.ColdStartTime(testPowerSystem(), taskE)
+	if !(tSw < tVt && tVt < tVb) {
+		t.Fatalf("cold start ordering violated: switched=%v vtop=%v vbottom=%v", tSw, tVt, tVb)
+	}
+	// The switched-bank advantage should be large (small bank vs full
+	// array to min-boost voltage).
+	if float64(tVt)/float64(tSw) < 5 {
+		t.Fatalf("switched-C advantage too small: %v vs %v", tSw, tVt)
+	}
+}
+
+func TestMechanismAreaAndLeakage(t *testing.T) {
+	sw, vt, vb := mechanisms()
+	// §5.2: the threshold circuit occupies twice the area and has 1.5×
+	// the leakage of the switched design.
+	if vt.Area() != 2*sw.Area() {
+		t.Fatalf("Vtop area = %v, want 2× switch area %v", vt.Area(), sw.Area())
+	}
+	if got, want := float64(vt.LeakCurrent()), 1.5*float64(sw.LeakCurrent()); got != want {
+		t.Fatalf("Vtop leak = %v, want 1.5× switch leak", vt.LeakCurrent())
+	}
+	if vb.Area() != 0 || vb.LeakCurrent() != 0 {
+		t.Fatalf("Vbottom should reuse the MCU comparator: area %v leak %v", vb.Area(), vb.LeakCurrent())
+	}
+}
+
+func TestMechanismEndurance(t *testing.T) {
+	sw, vt, _ := mechanisms()
+	if sw.WriteEndurance() != 0 {
+		t.Fatal("switch endurance should be unlimited")
+	}
+	if vt.WriteEndurance() <= 0 {
+		t.Fatal("EEPROM potentiometer endurance must be finite")
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	sw, vt, vb := mechanisms()
+	for _, m := range []Mechanism{sw, vt, vb} {
+		if m.Name() == "" {
+			t.Fatal("empty mechanism name")
+		}
+	}
+}
+
+func TestSplitterChargesBothBanks(t *testing.T) {
+	s := &Splitter{BankA: smallBank(), BankB: midBank(), Drop: 0.3}
+	sys := testPowerSystem()
+	s.ChargeBoth(sys, 0, 30)
+	if s.BankA.Voltage() <= 0 || s.BankB.Voltage() <= 0 {
+		t.Fatalf("banks not charged: %v %v", s.BankA.Voltage(), s.BankB.Voltage())
+	}
+	// The small bank reaches a higher voltage for the same shared power.
+	if s.BankA.Voltage() <= s.BankB.Voltage() {
+		t.Fatalf("small bank (%v) should outpace mid bank (%v)", s.BankA.Voltage(), s.BankB.Voltage())
+	}
+}
+
+func TestSplitterFullBankStopsDrawing(t *testing.T) {
+	s := &Splitter{BankA: smallBank(), BankB: bigBank(), Drop: 0.3}
+	sys := testPowerSystem()
+	s.BankA.SetVoltage(s.BankA.RatedVoltage())
+	before := s.BankB.Voltage()
+	s.ChargeBoth(sys, 0, 10)
+	if s.BankA.Voltage() > s.BankA.RatedVoltage() {
+		t.Fatal("full bank overcharged")
+	}
+	if s.BankB.Voltage() <= before {
+		t.Fatal("all power should go to the empty bank")
+	}
+}
+
+func TestSplitterAreaClaim(t *testing.T) {
+	// §6.6: the splitter matches storage to demand "at 20 % of the
+	// area" of the general-purpose switch.
+	s := &Splitter{BankA: smallBank(), BankB: bigBank()}
+	if got, want := s.Area(), SwitchArea/5; got != want {
+		t.Fatalf("splitter area = %v, want %v", got, want)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stringer")
+	}
+}

@@ -1,0 +1,388 @@
+// Package reservoir implements Capybara's reconfigurable energy storage
+// circuit (paper §5.2): an array of capacitor banks, each behind a
+// programmatically-controlled state-retaining switch, plus the
+// alternative Vtop-threshold mechanism and the CapySat diode splitter.
+//
+// The package captures the behavioural contract the Capybara runtime
+// depends on:
+//
+//   - banks activate/deactivate under software control (GPIO pulses);
+//   - active banks are electrically connected and charge-share;
+//   - deactivated banks retain their charge, minus leakage;
+//   - a switch's latch capacitor retains its state for a bounded time
+//     while the device is unpowered, after which the switch reverts to
+//     its normally-open (small default) or normally-closed (maximum
+//     capacity) configuration;
+//   - pre-charging a bank through the switch tops out ~0.3 V below the
+//     directly-charged voltage (the Capy-P limitation, §6.4).
+package reservoir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// SwitchKind selects the default state a bank switch reverts to when
+// its latch capacitor runs out during a long power outage.
+type SwitchKind int
+
+const (
+	// NormallyOpen switches revert to disconnected: the array falls
+	// back to the small default bank, which recharges quickly but may
+	// be insufficient for the interrupted task (the paper's
+	// adversarial-retry hazard).
+	NormallyOpen SwitchKind = iota
+	// NormallyClosed switches revert to connected: the array falls
+	// back to maximum capacity, guaranteeing first-attempt success at
+	// the cost of the longest recharge.
+	NormallyClosed
+)
+
+func (k SwitchKind) String() string {
+	if k == NormallyClosed {
+		return "NC"
+	}
+	return "NO"
+}
+
+// Switch is the replicable bank-switch module from Fig. 6(b): a
+// P-channel MOSFET held by a latch capacitor, with a replenishment
+// circuit that tops the latch up whenever the device is powered.
+type Switch struct {
+	Kind SwitchKind
+	// LatchCap is the latch capacitor (4.7 µF on the prototype).
+	LatchCap units.Capacitance
+	// LatchLeak is the leakage resistance discharging the latch while
+	// the device is unpowered. With the default latch capacitor it
+	// yields roughly the prototype's ~3 minute retention.
+	LatchLeak units.Resistance
+	// HoldVoltage is the minimum latch voltage that still holds the
+	// programmed state.
+	HoldVoltage units.Voltage
+	// FullVoltage is the latch voltage right after (re)programming or
+	// replenishment.
+	FullVoltage units.Voltage
+
+	closed bool
+	latchV units.Voltage
+}
+
+// DefaultSwitch returns a switch module with the prototype's
+// parameters: a 4.7 µF latch retaining state for about 3 minutes.
+func DefaultSwitch(kind SwitchKind) *Switch {
+	s := &Switch{
+		Kind:        kind,
+		LatchCap:    4.7 * units.MicroFarad,
+		LatchLeak:   42e6, // RC·ln(2.5/1.0) ≈ 181 s retention
+		HoldVoltage: 1.0,
+		FullVoltage: 2.5,
+	}
+	s.Reset()
+	return s
+}
+
+// Reset forces the switch to its default state with an empty latch.
+func (s *Switch) Reset() {
+	s.closed = s.Kind == NormallyClosed
+	s.latchV = 0
+}
+
+// Closed reports whether the switch currently connects its bank.
+func (s *Switch) Closed() bool { return s.closed }
+
+// Set programs the switch. The caller must only invoke it while the
+// device is powered (the GPIO interface charges or discharges the latch
+// capacitor). Programming also fills the latch.
+func (s *Switch) Set(closed bool) {
+	s.closed = closed
+	s.latchV = s.FullVoltage
+}
+
+// Replenish tops up the latch capacitor; the replenishment circuit does
+// this continuously while the device is powered and the latch holds
+// charge. A fully drained latch is NOT replenished: the state has
+// already reverted.
+func (s *Switch) Replenish() {
+	if s.latchV >= s.HoldVoltage {
+		s.latchV = s.FullVoltage
+	}
+}
+
+// TickUnpowered advances the latch leakage by dt with the device off.
+// If the latch drops below the hold voltage the switch reverts to its
+// default state. It reports whether a revert happened.
+func (s *Switch) TickUnpowered(dt units.Seconds) bool {
+	if s.latchV <= 0 {
+		return false
+	}
+	s.latchV = units.LeakVoltageAfter(s.LatchCap, s.latchV, s.LatchLeak, dt)
+	if s.latchV < s.HoldVoltage {
+		s.latchV = 0
+		def := s.Kind == NormallyClosed
+		if s.closed != def {
+			s.closed = def
+			return true
+		}
+	}
+	return false
+}
+
+// Retention returns how long the switch holds programmed state while
+// unpowered, from a full latch.
+func (s *Switch) Retention() units.Seconds {
+	return units.TimeToLeakTo(s.LatchCap, s.FullVoltage, s.HoldVoltage, s.LatchLeak)
+}
+
+// Characterization constants from the paper (§6.5, §5.2).
+const (
+	// SwitchArea is the board area of one reconfiguration switch
+	// module (including both NO and NC circuits and debug support).
+	SwitchArea units.Area = 80
+	// PowerSystemArea is the area of the shared distribution circuits.
+	PowerSystemArea units.Area = 640
+	// SolarArea is the area of the prototype's solar panels.
+	SolarArea units.Area = 700
+	// PrechargeDeficit is how far below the direct-charge voltage a
+	// bank can be pre-charged through its switch (§6.4: "approximately
+	// 0.3 V"). The Capybara runtime subtracts it when pre-charging
+	// burst banks.
+	PrechargeDeficit units.Voltage = 0.3
+)
+
+// BankState describes one bank's runtime condition.
+type BankState struct {
+	Name    string
+	Active  bool
+	Voltage units.Voltage
+}
+
+// Array is the reconfigurable reservoir: a base bank that is always
+// connected plus switched banks. Bank indices: 0 is the base bank;
+// 1..N address the switched banks.
+type Array struct {
+	base     *storage.Bank
+	banks    []*storage.Bank
+	switches []*Switch
+
+	// ShareLoss accumulates the energy dissipated by charge sharing
+	// across reconfigurations, for efficiency accounting.
+	ShareLoss units.Energy
+	// Reconfigurations counts switch programmings.
+	Reconfigurations int
+	// Reverts counts implicit reconfigurations caused by latch expiry.
+	Reverts int
+}
+
+// NewArray builds an array from a base bank and switched banks. Every
+// switched bank gets its own DefaultSwitch of the given kind.
+func NewArray(base *storage.Bank, kind SwitchKind, switched ...*storage.Bank) *Array {
+	a := &Array{base: base, banks: switched}
+	for range switched {
+		a.switches = append(a.switches, DefaultSwitch(kind))
+	}
+	a.settle()
+	return a
+}
+
+// NumBanks returns the number of banks including the base bank.
+func (a *Array) NumBanks() int { return 1 + len(a.banks) }
+
+// Bank returns bank i (0 = base).
+func (a *Array) Bank(i int) *storage.Bank {
+	if i == 0 {
+		return a.base
+	}
+	return a.banks[i-1]
+}
+
+// Switch returns the switch for bank i (1-based; the base bank has no
+// switch).
+func (a *Array) Switch(i int) *Switch { return a.switches[i-1] }
+
+// ActiveMask returns a bitmask of the currently connected banks. Bit 0
+// (the base bank) is always set.
+func (a *Array) ActiveMask() uint64 {
+	m := uint64(1)
+	for i, s := range a.switches {
+		if s.Closed() {
+			m |= 1 << uint(i+1)
+		}
+	}
+	return m
+}
+
+// Configure programs the switches so that exactly the banks in mask
+// (plus the always-on base bank) are connected. Newly connected banks
+// charge-share with the active set; the dissipated energy is accounted
+// in ShareLoss. Configure must only be called while the device is
+// powered. It returns an error for out-of-range mask bits.
+func (a *Array) Configure(mask uint64) error {
+	if mask>>uint(a.NumBanks()) != 0 {
+		return fmt.Errorf("reservoir: mask %#x addresses nonexistent banks (have %d)", mask, a.NumBanks())
+	}
+	for i, s := range a.switches {
+		want := mask&(1<<uint(i+1)) != 0
+		if s.Closed() != want {
+			s.Set(want)
+			a.Reconfigurations++
+		} else {
+			s.Replenish()
+		}
+	}
+	a.settle()
+	return nil
+}
+
+// settle equalizes the voltage across all connected banks, conserving
+// charge and accounting the dissipated energy.
+func (a *Array) settle() {
+	active := a.activeBanks()
+	if len(active) < 2 {
+		return
+	}
+	var q, c, before float64
+	for _, b := range active {
+		q += float64(b.Capacitance()) * float64(b.Voltage())
+		c += float64(b.Capacitance())
+		before += float64(b.Energy())
+	}
+	v := units.Voltage(q / c)
+	var after float64
+	for _, b := range active {
+		b.SetVoltage(v)
+		after += float64(b.Energy())
+	}
+	if loss := before - after; loss > 0 {
+		a.ShareLoss += units.Energy(loss)
+	}
+}
+
+func (a *Array) activeBanks() []*storage.Bank {
+	active := []*storage.Bank{a.base}
+	for i, s := range a.switches {
+		if s.Closed() {
+			active = append(active, a.banks[i])
+		}
+	}
+	return active
+}
+
+// TickPowered advances dt of powered time: bank self-discharge
+// continues and the replenishment circuit keeps the latches full.
+func (a *Array) TickPowered(dt units.Seconds) {
+	for _, b := range a.allBanks() {
+		b.Leak(dt)
+	}
+	for _, s := range a.switches {
+		s.Replenish()
+	}
+	a.settle()
+}
+
+// TickUnpowered advances dt of unpowered time: banks leak and latches
+// decay; expired switches revert to their default state, implicitly
+// reconfiguring the array (and charge-sharing if banks reconnect).
+func (a *Array) TickUnpowered(dt units.Seconds) {
+	for _, b := range a.allBanks() {
+		b.Leak(dt)
+	}
+	reverted := false
+	for _, s := range a.switches {
+		if s.TickUnpowered(dt) {
+			reverted = true
+			a.Reverts++
+		}
+	}
+	if reverted {
+		a.settle()
+	}
+}
+
+func (a *Array) allBanks() []*storage.Bank {
+	all := []*storage.Bank{a.base}
+	return append(all, a.banks...)
+}
+
+// States reports each bank's condition for tracing.
+func (a *Array) States() []BankState {
+	out := []BankState{{Name: a.base.Name(), Active: true, Voltage: a.base.Voltage()}}
+	for i, b := range a.banks {
+		out = append(out, BankState{Name: b.Name(), Active: a.switches[i].Closed(), Voltage: b.Voltage()})
+	}
+	return out
+}
+
+// Area returns the reconfiguration hardware's board area: one switch
+// module per switched bank.
+func (a *Array) Area() units.Area {
+	return SwitchArea * units.Area(len(a.switches))
+}
+
+func (a *Array) String() string {
+	var parts []string
+	for _, st := range a.States() {
+		mark := " "
+		if st.Active {
+			mark = "*"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s@%v", mark, st.Name, st.Voltage))
+	}
+	return "array[" + strings.Join(parts, " ") + "]"
+}
+
+// ActiveSet returns the power.Store view of the connected banks.
+func (a *Array) ActiveSet() *ActiveSet { return &ActiveSet{a: a} }
+
+// ActiveSet adapts the connected banks to the power.Store interface.
+// All connected banks share one terminal voltage (maintained by
+// settle), so the set behaves as a single capacitor whose capacitance
+// and ESR are the parallel combination.
+type ActiveSet struct{ a *Array }
+
+// Capacitance implements power.Store.
+func (s *ActiveSet) Capacitance() units.Capacitance {
+	return storage.CombinedCapacitance(s.a.activeBanks())
+}
+
+// Voltage implements power.Store. The connected banks are always
+// settled to a common voltage.
+func (s *ActiveSet) Voltage() units.Voltage { return s.a.base.Voltage() }
+
+// SetVoltage implements power.Store, setting every connected bank.
+func (s *ActiveSet) SetVoltage(v units.Voltage) {
+	for _, b := range s.a.activeBanks() {
+		b.SetVoltage(v)
+	}
+}
+
+// ESR implements power.Store.
+func (s *ActiveSet) ESR() units.Resistance {
+	return storage.CombinedESR(s.a.activeBanks())
+}
+
+// RatedVoltage returns the lowest rated voltage among connected banks.
+func (s *ActiveSet) RatedVoltage() units.Voltage {
+	v := units.Voltage(math.Inf(1))
+	for _, b := range s.a.activeBanks() {
+		if r := b.RatedVoltage(); r > 0 && r < v {
+			v = r
+		}
+	}
+	if math.IsInf(float64(v), 1) {
+		return 0
+	}
+	return v
+}
+
+// Energy returns the energy stored across connected banks.
+func (s *ActiveSet) Energy() units.Energy {
+	var e units.Energy
+	for _, b := range s.a.activeBanks() {
+		e += b.Energy()
+	}
+	return e
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+
+	"capybara/internal/units"
+)
+
+// EventKind labels one entry of a device's event log.
+type EventKind int
+
+const (
+	// EventBoot: the device powered up.
+	EventBoot EventKind = iota
+	// EventBrownout: the buffer emptied under load.
+	EventBrownout
+	// EventReconfig: software reprogrammed the switch array.
+	EventReconfig
+	// EventRevert: a latch expired and a switch fell back to its
+	// default during an outage.
+	EventRevert
+	// EventChargeDone: a charge pause completed.
+	EventChargeDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventBoot:
+		return "boot"
+	case EventBrownout:
+		return "brownout"
+	case EventReconfig:
+		return "reconfig"
+	case EventRevert:
+		return "revert"
+	case EventChargeDone:
+		return "charge-done"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	T      units.Seconds
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%v %s", e.T, e.Kind)
+	}
+	return fmt.Sprintf("%v %s (%s)", e.T, e.Kind, e.Detail)
+}
+
+// EventLog records a bounded device timeline. When the log is full the
+// oldest entries are discarded (the tail of a long run is usually what
+// matters when debugging).
+type EventLog struct {
+	// Max bounds the log; zero means 4096.
+	Max    int
+	events []Event
+	// Dropped counts discarded entries.
+	Dropped int
+}
+
+func (l *EventLog) limit() int {
+	if l.Max > 0 {
+		return l.Max
+	}
+	return 4096
+}
+
+func (l *EventLog) add(t units.Seconds, kind EventKind, detail string) {
+	if l == nil {
+		return
+	}
+	if len(l.events) >= l.limit() {
+		half := len(l.events) / 2
+		l.Dropped += half
+		l.events = append(l.events[:0], l.events[half:]...)
+	}
+	l.events = append(l.events, Event{T: t, Kind: kind, Detail: detail})
+}
+
+// Events returns the recorded timeline in order.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count tallies entries of one kind.
+func (l *EventLog) Count(kind EventKind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"capybara/internal/units"
+)
+
+// TestEnergyBalanceInvariant drives a device through random operation
+// sequences and checks first-law accounting: the energy stored at the
+// end can never exceed what was there initially plus what charging put
+// in, minus what loads drew (leakage and charge-sharing only ever lose
+// more).
+func TestEnergyBalanceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		d := newTestDevice(units.Power(1+rng.Float64()*9) * units.MilliWatt)
+		initial := d.Store().Energy()
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				d.ChargeTo(units.Voltage(1.8+rng.Float64()*0.6), units.Seconds(rng.Float64()*20))
+			case 1:
+				d.Drain(units.Power(rng.Float64()*30)*units.MilliWatt, units.Seconds(rng.Float64()))
+			case 2:
+				mask := uint64(rng.Intn(4)) | 1
+				if err := d.Configure(mask & 0b11); err != nil {
+					t.Fatal(err)
+				}
+			case 3:
+				d.AdvanceOff(units.Seconds(rng.Float64() * 50))
+			}
+		}
+		// Sum over ALL banks: deactivated banks retain charge that
+		// still belongs to the balance.
+		var final units.Energy
+		for i := 0; i < d.Array.NumBanks(); i++ {
+			final += d.Array.Bank(i).Energy()
+		}
+		budget := initial + d.Stats.EnergyIntoStore - d.Stats.EnergyDrawn
+		const eps = 1e-9
+		if float64(final) > float64(budget)+eps {
+			t.Fatalf("trial %d: energy created from nothing: final %v > budget %v "+
+				"(initial %v, in %v, drawn %v)",
+				trial, final, budget, initial, d.Stats.EnergyIntoStore, d.Stats.EnergyDrawn)
+		}
+	}
+}
+
+// TestClockMonotoneInvariant checks that no operation sequence can move
+// the simulated clock backwards.
+func TestClockMonotoneInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := newTestDevice(3 * units.MilliWatt)
+	last := d.Now()
+	for op := 0; op < 300; op++ {
+		switch rng.Intn(5) {
+		case 0:
+			d.ChargeTo(2.4, units.Seconds(rng.Float64()*5))
+		case 1:
+			d.Drain(units.Power(rng.Float64()*20)*units.MilliWatt, units.Seconds(rng.Float64()*0.2))
+		case 2:
+			d.Boot()
+		case 3:
+			d.Sleep(units.Seconds(rng.Float64()))
+		case 4:
+			d.AdvanceOff(units.Seconds(rng.Float64()))
+		}
+		if d.Now() < last {
+			t.Fatalf("clock moved backwards at op %d: %v < %v", op, d.Now(), last)
+		}
+		last = d.Now()
+	}
+}
+
+// TestVoltageBoundsInvariant checks that the storage voltage stays
+// within [0, rated] under random operation.
+func TestVoltageBoundsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := newTestDevice(10 * units.MilliWatt)
+	for op := 0; op < 500; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.ChargeTo(units.Voltage(rng.Float64()*5), units.Seconds(rng.Float64()*10))
+		case 1:
+			d.Drain(units.Power(rng.Float64()*50)*units.MilliWatt, units.Seconds(rng.Float64()*2))
+		case 2:
+			if err := d.Configure(uint64(rng.Intn(4)) | 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < d.Array.NumBanks(); i++ {
+			b := d.Array.Bank(i)
+			if v := b.Voltage(); v < 0 || v > b.RatedVoltage() {
+				t.Fatalf("bank %d voltage %v outside [0, %v] at op %d", i, v, b.RatedVoltage(), op)
+			}
+		}
+	}
+}
+
+// TestTimeAccountingInvariant checks the phase times sum to the clock.
+func TestTimeAccountingInvariant(t *testing.T) {
+	d := newTestDevice(5 * units.MilliWatt)
+	d.ChargeTo(2.4, 100)
+	d.Boot()
+	d.Drain(3*units.MilliWatt, 0.5)
+	d.Sleep(0.2)
+	d.AdvanceOff(3)
+	d.ChargeTo(2.4, 100)
+	sum := d.Stats.TimeOn + d.Stats.TimeCharging + d.Stats.TimeOff
+	diff := float64(d.Now() - sum)
+	if diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("phase times %v do not sum to clock %v", sum, d.Now())
+	}
+}

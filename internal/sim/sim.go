@@ -1,0 +1,264 @@
+// Package sim provides the discrete-event device simulator that ties a
+// harvester-fed power system, a reconfigurable reservoir, and an MCU
+// into one intermittently-powered device with a simulated clock.
+//
+// The intermittent execution model follows the paper (§2): the
+// processor is completely off while charging, turns on once the buffer
+// reaches the configured top voltage, and executes until the buffer is
+// empty (brownout). Charging while operating is negligible and not
+// modeled. A Device with Continuous set models the continuously-powered
+// reference board used as the evaluation baseline.
+package sim
+
+import (
+	"fmt"
+
+	"capybara/internal/device"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/units"
+)
+
+// Phase labels what the device is doing, for traces.
+type Phase int
+
+const (
+	// PhaseOff: no useful input power and no execution.
+	PhaseOff Phase = iota
+	// PhaseCharging: accumulating energy, processor off.
+	PhaseCharging
+	// PhaseRunning: executing on buffered energy.
+	PhaseRunning
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCharging:
+		return "charging"
+	case PhaseRunning:
+		return "running"
+	default:
+		return "off"
+	}
+}
+
+// Sample is one point of a voltage trace (Fig. 2-style).
+type Sample struct {
+	T     units.Seconds
+	V     units.Voltage
+	Phase Phase
+}
+
+// Trace records the storage voltage over time with bounded density.
+type Trace struct {
+	// MinInterval is the minimum spacing between recorded samples;
+	// zero records every transition.
+	MinInterval units.Seconds
+	Samples     []Sample
+}
+
+func (tr *Trace) record(t units.Seconds, v units.Voltage, phase Phase) {
+	if tr == nil {
+		return
+	}
+	if n := len(tr.Samples); n > 0 {
+		last := tr.Samples[n-1]
+		if t-last.T < tr.MinInterval && last.Phase == phase {
+			return
+		}
+	}
+	tr.Samples = append(tr.Samples, Sample{T: t, V: v, Phase: phase})
+}
+
+// Stats aggregates device-lifetime counters.
+type Stats struct {
+	Boots        int
+	Brownouts    int
+	TimeOn       units.Seconds
+	TimeCharging units.Seconds
+	TimeOff      units.Seconds
+	// EnergyDrawn is the energy pulled out of storage by loads;
+	// EnergyIntoStore is the energy charging put into storage. Together
+	// with leakage and charge-share losses they close the device's
+	// energy balance (see TestEnergyBalanceInvariant).
+	EnergyDrawn     units.Energy
+	EnergyIntoStore units.Energy
+}
+
+// Device is one simulated energy-harvesting node.
+type Device struct {
+	Sys   *power.System
+	Array *reservoir.Array
+	MCU   device.MCU
+	NV    *device.NVStore
+	// Continuous marks the continuously-powered reference baseline:
+	// charging is instantaneous and discharging never browns out.
+	Continuous bool
+	// Trace, when non-nil, records the voltage trajectory.
+	Trace *Trace
+	// Log, when non-nil, records a timeline of boots, brownouts,
+	// reconfigurations, reverts, and charge completions.
+	Log *EventLog
+
+	Stats Stats
+	now   units.Seconds
+}
+
+// NewDevice assembles a device with a fresh non-volatile store.
+func NewDevice(sys *power.System, arr *reservoir.Array, mcu device.MCU) *Device {
+	return &Device{Sys: sys, Array: arr, MCU: mcu, NV: device.NewNVStore()}
+}
+
+// Now returns the simulated time.
+func (d *Device) Now() units.Seconds { return d.now }
+
+// Store returns the electrical view of the currently connected banks.
+func (d *Device) Store() *reservoir.ActiveSet { return d.Array.ActiveSet() }
+
+// Configure reprograms the reservoir switches; callable only while the
+// device is running (the GPIO interface needs the MCU up). The GPIO
+// pulse costs a small quantum of active time.
+func (d *Device) Configure(mask uint64) error {
+	if err := d.Array.Configure(mask); err != nil {
+		return err
+	}
+	d.Log.add(d.now, EventReconfig, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+	// Programming the latch through the GPIO interface: ~1 ms active.
+	if !d.Continuous {
+		d.Drain(d.MCU.ActivePower, 1*units.Millisecond)
+	}
+	return nil
+}
+
+// tick advances the array's passive state for dt. The latch
+// replenishment circuit works whenever input power is present, even
+// with the processor off (§5.2).
+func (d *Device) tick(dt units.Seconds) {
+	if d.Sys.Source.PowerAt(d.now) > 0 {
+		d.Array.TickPowered(dt)
+		return
+	}
+	before := d.Array.Reverts
+	d.Array.TickUnpowered(dt)
+	if d.Array.Reverts > before {
+		d.Log.add(d.now, EventRevert, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+	}
+}
+
+// Drain runs a load drawing loadPower at the regulated output for up to
+// dt of active time. It returns the time sustained and whether the full
+// duration completed; on false the device browned out (task restart
+// required). Time advances by the sustained span.
+func (d *Device) Drain(loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
+	if dt < 0 {
+		dt = 0
+	}
+	if d.Continuous {
+		d.now += dt
+		d.Stats.TimeOn += dt
+		d.Stats.EnergyDrawn += units.Energy(float64(loadPower) * float64(dt))
+		return dt, true
+	}
+	set := d.Store()
+	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
+	sustained, ok := d.Sys.Discharge(set, loadPower, dt)
+	d.now += sustained
+	d.Stats.TimeOn += sustained
+	d.Stats.EnergyDrawn += units.Energy(float64(d.Sys.StoreDraw(loadPower)) * float64(sustained))
+	d.tick(sustained)
+	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
+	if !ok {
+		d.Stats.Brownouts++
+		d.Log.add(d.now, EventBrownout, "")
+	}
+	return sustained, ok
+}
+
+// chargeStep bounds how long the charge loop advances between
+// re-evaluations of the source and the latch state.
+const chargeStep units.Seconds = 1.0
+
+// ChargeTo accumulates energy with the processor off until the active
+// set reaches target volts, or until maxWait elapses. It returns the
+// time spent and whether the target was reached. Latch capacitors decay
+// during true outages (no input power) and may revert switches
+// mid-charge — exactly the §5.2 hazard.
+func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Seconds, bool) {
+	if d.Continuous {
+		return 0, true
+	}
+	set := d.Store()
+	var elapsed units.Seconds
+	d.Trace.record(d.now, set.Voltage(), PhaseCharging)
+	for {
+		if set.Voltage() >= target {
+			d.Trace.record(d.now, set.Voltage(), PhaseCharging)
+			return elapsed, true
+		}
+		if elapsed >= maxWait {
+			return elapsed, false
+		}
+		step := chargeStep
+		if elapsed+step > maxWait {
+			step = maxWait - elapsed
+		}
+		charging := d.Sys.ChargePower(set.Voltage(), d.now) > 0
+		before := set.Energy()
+		used, reached := d.Sys.TimeToChargeTo(set, target, d.now, step)
+		if gained := set.Energy() - before; gained > 0 {
+			d.Stats.EnergyIntoStore += gained
+		}
+		if used <= 0 {
+			used = step
+		}
+		d.now += used
+		elapsed += used
+		if charging {
+			d.Stats.TimeCharging += used
+		} else {
+			d.Stats.TimeOff += used
+		}
+		d.Trace.record(d.now, set.Voltage(), PhaseCharging)
+		// Success is decided before the passive tick: the voltage
+		// supervisor boots the device the instant the threshold is hit;
+		// the leakage within the same step is immaterial.
+		d.tick(used)
+		if reached {
+			d.Trace.record(d.now, set.Voltage(), PhaseCharging)
+			d.Log.add(d.now, EventChargeDone, fmt.Sprintf("%v after %v", set.Voltage(), elapsed))
+			return elapsed, true
+		}
+	}
+}
+
+// Boot powers the MCU up from the charged buffer: boot-time active
+// drain plus a boot counter. It reports whether boot completed without
+// brownout.
+func (d *Device) Boot() bool {
+	d.Stats.Boots++
+	d.Log.add(d.now, EventBoot, "")
+	_, ok := d.Drain(d.MCU.ActivePower, d.MCU.BootTime)
+	return ok
+}
+
+// Sleep keeps the device in a retentive low-power state for dt. The
+// power system's quiescent draw continues, which is why sleeping does
+// not preserve the buffer (§6.4).
+func (d *Device) Sleep(dt units.Seconds) (units.Seconds, bool) {
+	return d.Drain(d.MCU.SleepPower, dt)
+}
+
+// AdvanceOff lets dt pass with the device off and not charging
+// (used when waiting for external conditions with a full buffer).
+func (d *Device) AdvanceOff(dt units.Seconds) {
+	if dt <= 0 {
+		return
+	}
+	d.now += dt
+	d.Stats.TimeOff += dt
+	d.tick(dt)
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("device[t=%v %s %v]", d.now, d.MCU.Name, d.Array)
+}

@@ -1,0 +1,133 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Analysis reports static properties of a Program that the runtime
+// cannot check (transitions are dynamic Go values), gathered by
+// executing every task body against a probing context that records the
+// transitions it *returns* without consuming energy. The probe drives
+// each task once per reachable control path it can distinguish, so the
+// result is an under-approximation of reachability and an
+// over-approximation of the warning set — both safe directions for a
+// lint.
+type Analysis struct {
+	// Reachable lists tasks reachable from the entry via the observed
+	// transitions.
+	Reachable []string
+	// Unreachable lists defined tasks never observed as targets.
+	Unreachable []string
+	// Burst lists burst-annotated tasks with no preburst task naming
+	// their mode — bursts that will always find an uncharged bank.
+	UnprechargedBursts []string
+	// Modes lists every energy mode the program references.
+	Modes []EnergyMode
+}
+
+// Analyze probes the program. Task bodies are executed with a nil-ops
+// context (no time passes, no energy drains, channels read as absent),
+// so bodies must tolerate zero-value channel reads — which
+// restart-safety already requires.
+func (p *Program) Analyze() Analysis {
+	targets := make(map[string]bool, len(p.tasks))
+	// Observe each task's transition under the probing context.
+	edges := make(map[string][]string, len(p.tasks))
+	for name, t := range p.tasks {
+		for _, next := range probeTransitions(t) {
+			if next == string(Halt) {
+				continue
+			}
+			edges[name] = append(edges[name], next)
+			targets[next] = true
+		}
+	}
+
+	// Reachability from the entry.
+	reachable := map[string]bool{p.Entry: true}
+	frontier := []string{p.Entry}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, next := range edges[cur] {
+			if !reachable[next] {
+				reachable[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+
+	var a Analysis
+	modeSet := make(map[EnergyMode]bool)
+	precharged := make(map[EnergyMode]bool)
+	for _, t := range p.tasks {
+		for _, m := range []EnergyMode{t.Config, t.Burst, t.PreburstBurst, t.PreburstExec} {
+			if m != ModeNone {
+				modeSet[m] = true
+			}
+		}
+		if t.PreburstBurst != ModeNone {
+			precharged[t.PreburstBurst] = true
+		}
+	}
+	for name, t := range p.tasks {
+		if reachable[name] {
+			a.Reachable = append(a.Reachable, name)
+		} else {
+			a.Unreachable = append(a.Unreachable, name)
+		}
+		if t.Burst != ModeNone && !precharged[t.Burst] {
+			a.UnprechargedBursts = append(a.UnprechargedBursts, name)
+		}
+	}
+	for m := range modeSet {
+		a.Modes = append(a.Modes, m)
+	}
+	sort.Strings(a.Reachable)
+	sort.Strings(a.Unreachable)
+	sort.Strings(a.UnprechargedBursts)
+	sort.Slice(a.Modes, func(i, j int) bool { return a.Modes[i] < a.Modes[j] })
+	return a
+}
+
+// Warnings renders the analysis as human-readable lint messages.
+func (a Analysis) Warnings() []string {
+	var out []string
+	for _, name := range a.Unreachable {
+		out = append(out, fmt.Sprintf("task %s is unreachable from the entry", name))
+	}
+	for _, name := range a.UnprechargedBursts {
+		out = append(out, fmt.Sprintf(
+			"burst task %s has no preburst task charging its mode — every burst will pay its charge on the critical path", name))
+	}
+	return out
+}
+
+// probeTransitions runs a task body against probing contexts and
+// collects the distinct transitions it returns. The body may branch on
+// channel values; the probe tries the all-absent state and a small set
+// of constant channel states to expose common branches. Bodies that
+// panic under probing contribute no edges (they are still counted as
+// defined tasks).
+func probeTransitions(t *Task) []string {
+	seen := make(map[string]bool)
+	for _, words := range []uint64{0, 1, 1 << 20} {
+		func() {
+			defer func() { recover() }() // probing must never crash Analyze
+			ctx := &Ctx{probe: true, probeWord: words,
+				stagedWords: make(map[string]uint64),
+				stagedBlobs: make(map[string][]byte),
+				stagedDel:   make(map[string]bool),
+			}
+			next := t.Run(ctx)
+			seen[string(next)] = true
+		}()
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,121 @@
+package task
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"capybara/internal/device"
+)
+
+func TestAnalyzeReachability(t *testing.T) {
+	prog := MustProgram("a",
+		&Task{Name: "a", Run: func(c *Ctx) Next { return "b" }},
+		&Task{Name: "b", Run: func(c *Ctx) Next { return Halt }},
+		&Task{Name: "orphan", Run: func(c *Ctx) Next { return "a" }},
+	)
+	a := prog.Analyze()
+	if !reflect.DeepEqual(a.Reachable, []string{"a", "b"}) {
+		t.Fatalf("reachable = %v", a.Reachable)
+	}
+	if !reflect.DeepEqual(a.Unreachable, []string{"orphan"}) {
+		t.Fatalf("unreachable = %v", a.Unreachable)
+	}
+	warnings := a.Warnings()
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "orphan") {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestAnalyzeBranchesOnChannels(t *testing.T) {
+	// The probe tries several channel states, exposing both branches.
+	prog := MustProgram("check",
+		&Task{Name: "check", Run: func(c *Ctx) Next {
+			if c.WordOr("flag", 0) != 0 {
+				return "fire"
+			}
+			return "check"
+		}},
+		&Task{Name: "fire", Run: func(c *Ctx) Next { return "check" }},
+	)
+	a := prog.Analyze()
+	if !reflect.DeepEqual(a.Reachable, []string{"check", "fire"}) {
+		t.Fatalf("branch not discovered: %v", a.Reachable)
+	}
+	if len(a.Unreachable) != 0 {
+		t.Fatalf("unreachable = %v", a.Unreachable)
+	}
+}
+
+func TestAnalyzeUnprechargedBurst(t *testing.T) {
+	prog := MustProgram("sense",
+		&Task{Name: "sense", Config: "small", Run: func(c *Ctx) Next { return "tx" }},
+		&Task{Name: "tx", Burst: "big", Run: func(c *Ctx) Next { return "sense" }},
+	)
+	a := prog.Analyze()
+	if !reflect.DeepEqual(a.UnprechargedBursts, []string{"tx"}) {
+		t.Fatalf("unprecharged bursts = %v", a.UnprechargedBursts)
+	}
+	if got := a.Warnings(); len(got) != 1 || !strings.Contains(got[0], "critical path") {
+		t.Fatalf("warnings = %v", got)
+	}
+	// Adding the preburst annotation silences the warning.
+	prog2 := MustProgram("sense",
+		&Task{Name: "sense", PreburstBurst: "big", PreburstExec: "small",
+			Run: func(c *Ctx) Next { return "tx" }},
+		&Task{Name: "tx", Burst: "big", Run: func(c *Ctx) Next { return "sense" }},
+	)
+	if a2 := prog2.Analyze(); len(a2.UnprechargedBursts) != 0 {
+		t.Fatalf("false positive: %v", a2.UnprechargedBursts)
+	}
+}
+
+func TestAnalyzeCollectsModes(t *testing.T) {
+	prog := MustProgram("a",
+		&Task{Name: "a", PreburstBurst: "big", PreburstExec: "small",
+			Run: func(c *Ctx) Next { return "b" }},
+		&Task{Name: "b", Burst: "big", Run: func(c *Ctx) Next { return Halt }},
+	)
+	a := prog.Analyze()
+	if !reflect.DeepEqual(a.Modes, []EnergyMode{"big", "small"}) {
+		t.Fatalf("modes = %v", a.Modes)
+	}
+}
+
+func TestAnalyzeSurvivesSideEffectfulBodies(t *testing.T) {
+	// Bodies that sample, transmit, and sleep must be probe-safe: the
+	// operations no-op under analysis.
+	tmp := device.TMP36()
+	radio := device.CC2650()
+	prog := MustProgram("io",
+		&Task{Name: "io", Run: func(c *Ctx) Next {
+			c.Sample(tmp)
+			c.SampleBurst(device.ProximitySensor(), 4)
+			c.Activate(device.LED(), 0.25)
+			c.Transmit(radio, 25)
+			c.Sleep(1)
+			c.Compute(1e6)
+			c.AppendFloat("s", 1)
+			if len(c.FloatSeries("s")) > 0 {
+				return Halt
+			}
+			return "io"
+		}},
+	)
+	a := prog.Analyze()
+	if len(a.Reachable) != 1 {
+		t.Fatalf("reachable = %v", a.Reachable)
+	}
+}
+
+func TestAnalyzeSurvivesPanickingBody(t *testing.T) {
+	prog := MustProgram("boom",
+		&Task{Name: "boom", Run: func(c *Ctx) Next {
+			panic("application bug")
+		}},
+	)
+	a := prog.Analyze() // must not crash
+	if len(a.Reachable) != 1 || a.Reachable[0] != "boom" {
+		t.Fatalf("reachable = %v", a.Reachable)
+	}
+}

@@ -1,0 +1,169 @@
+package task
+
+import (
+	"testing"
+
+	"capybara/internal/units"
+)
+
+func TestChanOutInAcrossTasks(t *testing.T) {
+	var got uint64
+	prog := MustProgram("producer",
+		&Task{Name: "producer", Run: func(c *Ctx) Next {
+			c.ChanOut("consumer", "reading", 41)
+			return "consumer"
+		}},
+		&Task{Name: "consumer", Run: func(c *Ctx) Next {
+			got = c.ChanInOr(0, "reading", "producer")
+			return Halt
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got != 41 {
+		t.Fatalf("consumer read %d, want 41", got)
+	}
+}
+
+func TestChanInLatestWriterWins(t *testing.T) {
+	// Chain's multi-input resolution: the most recently committed write
+	// among the named source channels wins.
+	var got uint64
+	prog := MustProgram("a",
+		&Task{Name: "a", Run: func(c *Ctx) Next {
+			c.ChanOut("sink", "v", 1)
+			return "b"
+		}},
+		&Task{Name: "b", Run: func(c *Ctx) Next {
+			c.ChanOut("sink", "v", 2)
+			return "sink"
+		}},
+		&Task{Name: "sink", Run: func(c *Ctx) Next {
+			got = c.ChanInOr(0, "v", "a", "b")
+			return Halt
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("latest-writer resolution failed: got %d, want 2", got)
+	}
+	// Source order in the read must not matter.
+	var got2 uint64
+	prog2 := MustProgram("a",
+		&Task{Name: "a", Run: func(c *Ctx) Next { c.ChanOut("sink", "v", 1); return "b" }},
+		&Task{Name: "b", Run: func(c *Ctx) Next { c.ChanOut("sink", "v", 2); return "sink" }},
+		&Task{Name: "sink", Run: func(c *Ctx) Next {
+			got2 = c.ChanInOr(0, "v", "b", "a")
+			return Halt
+		}},
+	)
+	e2 := newTestEngine(t, 10*units.MilliWatt, prog2)
+	if err := e2.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 2 {
+		t.Fatalf("order-dependent resolution: got %d", got2)
+	}
+}
+
+func TestChanInDoesNotSeeOwnStagedWrites(t *testing.T) {
+	// Chain semantics: a task's reads are stable across restarts — it
+	// never observes its own uncommitted ChanOut.
+	prog := MustProgram("t",
+		&Task{Name: "t", Run: func(c *Ctx) Next {
+			c.ChanOut("t", "x", 99)
+			if v, ok := c.ChanIn("x", "t"); ok {
+				t.Errorf("own staged write visible: %d", v)
+			}
+			return Halt
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfChannelCarriesLoopState(t *testing.T) {
+	var iterations []uint64
+	prog := MustProgram("loop",
+		&Task{Name: "loop", Run: func(c *Ctx) Next {
+			n, _ := c.Self("n")
+			iterations = append(iterations, n)
+			if n >= 3 {
+				return Halt
+			}
+			c.SelfOut("n", n+1)
+			return "loop"
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 2, 3}
+	if len(iterations) != len(want) {
+		t.Fatalf("iterations = %v", iterations)
+	}
+	for i := range want {
+		if iterations[i] != want[i] {
+			t.Fatalf("iterations = %v, want %v", iterations, want)
+		}
+	}
+}
+
+func TestChanWritesDiscardedOnPowerFailure(t *testing.T) {
+	attempt := 0
+	var got uint64
+	prog := MustProgram("flaky",
+		&Task{Name: "flaky", Run: func(c *Ctx) Next {
+			attempt++
+			c.ChanOut("sink", "v", uint64(attempt))
+			if attempt < 3 {
+				c.drain(30*units.MilliWatt, 10) // brownout
+			}
+			return "sink"
+		}},
+		&Task{Name: "sink", Run: func(c *Ctx) Next {
+			got = c.ChanInOr(0, "v", "flaky")
+			return Halt
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	// Only the successful third attempt's write committed.
+	if got != 3 {
+		t.Fatalf("sink read %d, want 3 (failed attempts must discard)", got)
+	}
+}
+
+func TestChanFloatHelpers(t *testing.T) {
+	var got float64
+	prog := MustProgram("p",
+		&Task{Name: "p", Run: func(c *Ctx) Next {
+			c.ChanOutFloat("q", "temp", 21.5)
+			return "q"
+		}},
+		&Task{Name: "q", Run: func(c *Ctx) Next {
+			got = c.ChanInFloat(0, "temp", "p")
+			if miss := c.ChanInFloat(-1, "nothing", "p"); miss != -1 {
+				t.Errorf("default not returned: %g", miss)
+			}
+			return Halt
+		}},
+	)
+	e := newTestEngine(t, 10*units.MilliWatt, prog)
+	if err := e.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if got != 21.5 {
+		t.Fatalf("float channel read %g", got)
+	}
+}

@@ -1,0 +1,25 @@
+package task
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+func appendFloatBytes(b []byte, v float64) []byte {
+	out := make([]byte, len(b), len(b)+8)
+	copy(out, b)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return append(out, buf[:]...)
+}
+
+func decodeFloats(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for i := 0; i+8 <= len(b); i += 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[i:])))
+	}
+	return out
+}

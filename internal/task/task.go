@@ -1,0 +1,498 @@
+// Package task implements Capybara's software interface (paper §4): a
+// Chain-style task-based intermittent programming model with
+// non-volatile channels, extended with the declarative energy-mode
+// annotations config, burst, and preburst.
+//
+// A program is a set of named tasks; control flows from task to task at
+// nexttask statements (the Next return value). A task executes
+// atomically with respect to power: if the energy buffer empties
+// mid-task, the device powers off, recharges, reboots, and restarts the
+// task from the beginning. Writes to non-volatile channels are staged
+// during execution and committed atomically at the task transition, so
+// restarts are safe (Chain/Alpaca semantics).
+//
+// The package deliberately separates the programming model from power
+// policy: an Engine executes a Program on a sim.Device, delegating all
+// charging and reconfiguration decisions to a PowerManager. The
+// Capybara runtime, the fixed-capacity baseline, and the
+// continuous-power baseline are PowerManagers in internal/core.
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"capybara/internal/device"
+	"capybara/internal/sim"
+	"capybara/internal/units"
+)
+
+// EnergyMode names an energy mode — an identifier that the hardware
+// designer maps to a reservoir configuration (paper §3: "an identifier
+// that corresponds to the specific amount of capacitance required to
+// execute the task").
+type EnergyMode string
+
+// ModeNone marks an absent annotation.
+const ModeNone EnergyMode = ""
+
+// Next is the name of the task control transfers to; Halt ends the
+// program.
+type Next string
+
+// Halt stops the program.
+const Halt Next = ""
+
+// Fn is a task body. It must be restart-safe: all durable effects go
+// through the Ctx channel operations, which commit only when the task
+// completes.
+type Fn func(ctx *Ctx) Next
+
+// Task is one function-like task with its energy-mode annotations.
+// At most one of the annotation groups should be set: Config for
+// ordinary capacity/temporal constraints, Burst for pre-charged
+// reactive tasks, and the Preburst pair for tasks that charge a future
+// burst ahead of time.
+type Task struct {
+	Name string
+
+	// Config corresponds to the `configure mode` annotation: execute
+	// this task on the reservoir configuration for the mode.
+	Config EnergyMode
+	// Burst corresponds to `burst mode`: re-activate the pre-charged
+	// banks of the mode and execute immediately, without a charge pause.
+	Burst EnergyMode
+	// PreburstBurst and PreburstExec correspond to
+	// `preburst burst=bmode exec=emode`: charge bmode's banks ahead of
+	// time, then execute this task in emode.
+	PreburstBurst EnergyMode
+	PreburstExec  EnergyMode
+
+	Run Fn
+}
+
+// Program is a validated set of tasks with an entry point.
+type Program struct {
+	Entry string
+	tasks map[string]*Task
+}
+
+// NewProgram validates and assembles a program.
+func NewProgram(entry string, tasks ...*Task) (*Program, error) {
+	p := &Program{Entry: entry, tasks: make(map[string]*Task, len(tasks))}
+	for _, t := range tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("task: unnamed task")
+		}
+		if t.Run == nil {
+			return nil, fmt.Errorf("task: %s has no body", t.Name)
+		}
+		if _, dup := p.tasks[t.Name]; dup {
+			return nil, fmt.Errorf("task: duplicate task %s", t.Name)
+		}
+		if (t.PreburstBurst == ModeNone) != (t.PreburstExec == ModeNone) {
+			return nil, fmt.Errorf("task: %s has half a preburst annotation", t.Name)
+		}
+		p.tasks[t.Name] = t
+	}
+	if _, ok := p.tasks[entry]; !ok {
+		return nil, fmt.Errorf("task: entry task %q not defined", entry)
+	}
+	return p, nil
+}
+
+// MustProgram is NewProgram for statically-known programs.
+func MustProgram(entry string, tasks ...*Task) *Program {
+	p, err := NewProgram(entry, tasks...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Task looks a task up by name.
+func (p *Program) Task(name string) (*Task, bool) {
+	t, ok := p.tasks[name]
+	return t, ok
+}
+
+// Names lists the program's tasks in sorted order.
+func (p *Program) Names() []string {
+	names := make([]string, 0, len(p.tasks))
+	for n := range p.tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PowerManager decides how the device prepares for each task: which
+// reservoir configuration to use, when to pause and charge, and how to
+// recover after a power failure.
+type PowerManager interface {
+	// Prepare readies the device to run t. alive reports whether the
+	// device is currently on; when false the manager must bring it up
+	// (charge + boot). Prepare returns false when the deadline passed
+	// before the device became ready — the engine then stops.
+	Prepare(t *Task, alive bool, deadline units.Seconds) bool
+}
+
+// Engine executes a Program on a Device under a PowerManager.
+type Engine struct {
+	Dev  *sim.Device
+	Prog *Program
+	PM   PowerManager
+	// Restarts counts task restarts caused by power failures.
+	Restarts int
+	// Profile accumulates per-task execution measurements — the §3
+	// "measure task energy consumption on continuous power" harness.
+	Profile map[string]*TaskProfile
+}
+
+// TaskProfile is one task's accumulated execution cost.
+type TaskProfile struct {
+	// Runs counts successful completions; Failures counts attempts
+	// ended by a power failure.
+	Runs, Failures int
+	// Time and Energy accumulate over successful runs: active time and
+	// energy drawn from storage.
+	Time   units.Seconds
+	Energy units.Energy
+}
+
+// MeanPower returns the task's average draw across successful runs.
+func (p *TaskProfile) MeanPower() units.Power {
+	if p.Time <= 0 {
+		return 0
+	}
+	return units.Power(float64(p.Energy) / float64(p.Time))
+}
+
+// MeanTime returns the average successful run duration.
+func (p *TaskProfile) MeanTime() units.Seconds {
+	if p.Runs == 0 {
+		return 0
+	}
+	return p.Time / units.Seconds(p.Runs)
+}
+
+// MeanEnergy returns the average successful run energy.
+func (p *TaskProfile) MeanEnergy() units.Energy {
+	if p.Runs == 0 {
+		return 0
+	}
+	return p.Energy / units.Energy(p.Runs)
+}
+
+// NewEngine assembles an engine.
+func NewEngine(dev *sim.Device, prog *Program, pm PowerManager) *Engine {
+	return &Engine{Dev: dev, Prog: prog, PM: pm, Profile: make(map[string]*TaskProfile)}
+}
+
+func (e *Engine) profileFor(name string) *TaskProfile {
+	p, ok := e.Profile[name]
+	if !ok {
+		p = &TaskProfile{}
+		e.Profile[name] = p
+	}
+	return p
+}
+
+// The NV key holding the current task name — the runtime's
+// power-failure-robust state machine pointer (§4.3).
+const nvCurrentTask = "__task.current"
+
+// CurrentTask returns the durable current-task pointer, defaulting to
+// the program entry.
+func (e *Engine) CurrentTask() string {
+	if b, ok := e.Dev.NV.Blob(nvCurrentTask); ok {
+		return string(b)
+	}
+	return e.Prog.Entry
+}
+
+// Run executes the program until the simulated clock reaches horizon,
+// the program halts, or the power manager gives up (e.g. the source
+// died for good). It returns an error only for malformed transitions.
+func (e *Engine) Run(horizon units.Seconds) error {
+	alive := false
+	for e.Dev.Now() < horizon {
+		name := e.CurrentTask()
+		t, ok := e.Prog.Task(name)
+		if !ok {
+			return fmt.Errorf("task: transition to undefined task %q", name)
+		}
+		if !e.PM.Prepare(t, alive, horizon) {
+			return nil // deadline reached while preparing
+		}
+		alive = true
+		ctx := newCtx(e, t.Name)
+		timeBefore := e.Dev.Stats.TimeOn
+		energyBefore := e.Dev.Stats.EnergyDrawn
+		next, failed := e.exec(t, ctx)
+		prof := e.profileFor(t.Name)
+		if failed {
+			// Power failed mid-task: volatile state (the staged writes)
+			// is lost; the task will restart from scratch.
+			e.Restarts++
+			prof.Failures++
+			alive = false
+			continue
+		}
+		prof.Runs++
+		prof.Time += e.Dev.Stats.TimeOn - timeBefore
+		prof.Energy += e.Dev.Stats.EnergyDrawn - energyBefore
+		ctx.commit()
+		if next == Halt {
+			e.Dev.NV.Delete(nvCurrentTask)
+			return nil
+		}
+		if _, ok := e.Prog.Task(string(next)); !ok {
+			return fmt.Errorf("task: %s transitioned to undefined task %q", t.Name, next)
+		}
+		e.Dev.NV.SetBlob(nvCurrentTask, []byte(next))
+	}
+	return nil
+}
+
+// powerFailure is the internal control-flow signal for a brownout
+// mid-operation. It never escapes the package (Effective Go's
+// "internal panic, external error" rule).
+type powerFailure struct{}
+
+func (e *Engine) exec(t *Task, ctx *Ctx) (next Next, failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFailure); ok {
+				failed = true
+				next = Next(t.Name)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return t.Run(ctx), false
+}
+
+// Ctx is the execution context a task body runs against. All operations
+// consume simulated time and buffered energy; any of them may terminate
+// the task with a power failure, after which the task restarts.
+type Ctx struct {
+	eng *Engine
+
+	stagedWords map[string]uint64
+	stagedBlobs map[string][]byte
+	stagedDel   map[string]bool
+	stagedChans map[[2]string]uint64
+
+	// taskName is the executing task, used to address its channels.
+	taskName string
+
+	// probe marks an analysis context (Program.Analyze): operations
+	// consume nothing and channel reads return probeWord, so task
+	// bodies can be executed statically to observe their transitions.
+	probe     bool
+	probeWord uint64
+}
+
+func newCtx(e *Engine, taskName string) *Ctx {
+	return &Ctx{
+		eng:         e,
+		taskName:    taskName,
+		stagedWords: make(map[string]uint64),
+		stagedBlobs: make(map[string][]byte),
+		stagedDel:   make(map[string]bool),
+	}
+}
+
+// Now returns the simulated time.
+func (c *Ctx) Now() units.Seconds {
+	if c.probe {
+		return 0
+	}
+	return c.eng.Dev.Now()
+}
+
+// drain consumes active time or dies trying.
+func (c *Ctx) drain(load units.Power, dt units.Seconds) {
+	if c.probe || dt <= 0 {
+		return
+	}
+	if _, ok := c.eng.Dev.Drain(load, dt); !ok {
+		panic(powerFailure{})
+	}
+}
+
+// Compute executes ops ALU operations.
+func (c *Ctx) Compute(ops float64) {
+	c.drain(c.eng.Dev.MCU.ActivePower, c.eng.Dev.MCU.ComputeTime(ops))
+}
+
+// Sleep idles in a retentive low-power mode for dt. The power system's
+// quiescent draw continues.
+func (c *Ctx) Sleep(dt units.Seconds) {
+	c.drain(c.eng.Dev.MCU.SleepPower, dt)
+}
+
+// Sample powers p up (warm-up) and performs one atomic operation. It
+// returns the time at which the operation began — the instant the
+// sensor observed the world.
+func (c *Ctx) Sample(p device.Peripheral) units.Seconds {
+	load := p.ActivePower + c.eng.Dev.MCU.ActivePower
+	c.drain(load, p.Warmup)
+	at := c.Now()
+	c.drain(load, p.OpTime)
+	return at
+}
+
+// Activate powers p up (warm-up) and holds it active for dur — e.g.
+// keeping the gesture sensor observing for the remainder of a swing.
+// It returns the time the active phase began.
+func (c *Ctx) Activate(p device.Peripheral, dur units.Seconds) units.Seconds {
+	load := p.ActivePower + c.eng.Dev.MCU.ActivePower
+	c.drain(load, p.Warmup)
+	at := c.Now()
+	c.drain(load, dur)
+	return at
+}
+
+// SampleBurst warms p up once and performs n back-to-back operations,
+// returning each operation's start time. CSR's 32 distance samples are
+// one SampleBurst.
+func (c *Ctx) SampleBurst(p device.Peripheral, n int) []units.Seconds {
+	load := p.ActivePower + c.eng.Dev.MCU.ActivePower
+	c.drain(load, p.Warmup)
+	times := make([]units.Seconds, 0, n)
+	for i := 0; i < n; i++ {
+		times = append(times, c.Now())
+		c.drain(load, p.OpTime)
+	}
+	return times
+}
+
+// Transmit starts the radio stack and sends one packet with the given
+// payload size. It returns the time the packet finished transmitting
+// (when a sniffer would receive it).
+func (c *Ctx) Transmit(r device.Radio, payloadBytes int) units.Seconds {
+	load := r.TxPower + c.eng.Dev.MCU.ActivePower
+	c.drain(load, r.StartupTime)
+	c.drain(load, r.PacketTime(payloadBytes))
+	return c.Now()
+}
+
+// Non-volatile channel operations. Reads see this task's own staged
+// writes first (Alpaca-style privatization), then committed state.
+// Writes are staged and commit only when the task completes.
+
+// SetWord stages a durable word write.
+func (c *Ctx) SetWord(key string, v uint64) {
+	c.stagedWords[key] = v
+	delete(c.stagedDel, key)
+}
+
+// Word reads a durable word.
+func (c *Ctx) Word(key string) (uint64, bool) {
+	if c.stagedDel[key] {
+		return 0, false
+	}
+	if v, ok := c.stagedWords[key]; ok {
+		return v, true
+	}
+	if c.probe {
+		return c.probeWord, c.probeWord != 0
+	}
+	return c.eng.Dev.NV.Word(key)
+}
+
+// WordOr reads a durable word with a default.
+func (c *Ctx) WordOr(key string, def uint64) uint64 {
+	if v, ok := c.Word(key); ok {
+		return v
+	}
+	return def
+}
+
+// SetFloat stages a durable float write.
+func (c *Ctx) SetFloat(key string, v float64) { c.SetWord(key, floatBits(v)) }
+
+// FloatOr reads a durable float with a default.
+func (c *Ctx) FloatOr(key string, def float64) float64 {
+	if v, ok := c.Word(key); ok {
+		return floatFromBits(v)
+	}
+	return def
+}
+
+// AppendFloat stages an append to a durable series.
+func (c *Ctx) AppendFloat(key string, v float64) {
+	cur := c.blobView(key)
+	c.stagedBlobs[key] = appendFloatBytes(cur, v)
+	delete(c.stagedDel, key)
+}
+
+// FloatSeries reads a durable series including staged appends.
+func (c *Ctx) FloatSeries(key string) []float64 {
+	return decodeFloats(c.blobView(key))
+}
+
+// SetFloats stages a durable series wholesale — used to keep bounded
+// sliding windows (e.g. TA's "most recent time series").
+func (c *Ctx) SetFloats(key string, vals []float64) {
+	var b []byte
+	for _, v := range vals {
+		b = appendFloatBytes(b, v)
+	}
+	c.stagedBlobs[key] = b
+	delete(c.stagedDel, key)
+}
+
+// Delete stages removal of a durable key.
+func (c *Ctx) Delete(key string) {
+	delete(c.stagedWords, key)
+	delete(c.stagedBlobs, key)
+	c.stagedDel[key] = true
+}
+
+func (c *Ctx) blobView(key string) []byte {
+	if c.stagedDel[key] {
+		return nil
+	}
+	if b, ok := c.stagedBlobs[key]; ok {
+		return b
+	}
+	if c.probe {
+		return nil
+	}
+	b, _ := c.eng.Dev.NV.Blob(key)
+	return b
+}
+
+// commit applies the staged writes to non-volatile memory in one
+// atomic step (Chain commits channel writes at the task transition).
+func (c *Ctx) commit() {
+	keys := make([]string, 0, len(c.stagedDel)+len(c.stagedWords)+len(c.stagedBlobs))
+	for k := range c.stagedDel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.eng.Dev.NV.Delete(k)
+	}
+	keys = keys[:0]
+	for k := range c.stagedWords {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.eng.Dev.NV.SetWord(k, c.stagedWords[k])
+	}
+	keys = keys[:0]
+	for k := range c.stagedBlobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.eng.Dev.NV.SetBlob(k, c.stagedBlobs[k])
+	}
+	c.commitChans()
+}

@@ -1,0 +1,210 @@
+// Package viz renders XY data as ASCII plots for the CLI tools, so the
+// paper's figures can be eyeballed in a terminal without a plotting
+// stack: voltage traces (Fig. 2), design-space curves (Figs. 3 and 4),
+// and sensitivity sweeps (Fig. 10).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot is an ASCII chart: one or more named series over shared axes.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	// Width and Height are the plotting area in characters (excluding
+	// axes and labels).
+	Width, Height int
+	// LogX / LogY select logarithmic axes; non-positive values are
+	// dropped on a log axis.
+	LogX, LogY bool
+
+	series []series
+}
+
+type series struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// New returns a plot with a conventional terminal size.
+func New(title string) *Plot {
+	return &Plot{Title: title, Width: 64, Height: 16}
+}
+
+// Add appends a series. Series are drawn in order; later series
+// overwrite earlier markers on collision.
+func (p *Plot) Add(name string, marker byte, xs, ys []float64) {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	p.series = append(p.series, series{name: name, marker: marker, xs: xs[:n], ys: ys[:n]})
+}
+
+// Render draws the plot.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	xmin, xmax, ymin, ymax, any := p.bounds()
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", p.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, okx := p.tx(s.xs[i])
+			y, oky := p.ty(s.ys[i])
+			if !okx || !oky {
+				continue
+			}
+			cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = s.marker
+			}
+		}
+	}
+
+	if p.Title != "" {
+		if _, err := fmt.Fprintln(w, p.Title); err != nil {
+			return err
+		}
+	}
+	topLabel := p.axisValue(ymax, p.LogY)
+	botLabel := p.axisValue(ymin, p.LogY)
+	labelWidth := len(topLabel)
+	if len(botLabel) > labelWidth {
+		labelWidth = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(topLabel, labelWidth)
+		case height - 1:
+			label = pad(botLabel, labelWidth)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xline := fmt.Sprintf("%s  %s%s%s",
+		strings.Repeat(" ", labelWidth),
+		p.axisValue(xmin, p.LogX),
+		strings.Repeat(" ", max(1, width-len(p.axisValue(xmin, p.LogX))-len(p.axisValue(xmax, p.LogX)))),
+		p.axisValue(xmax, p.LogX))
+	if _, err := fmt.Fprintln(w, xline); err != nil {
+		return err
+	}
+	if p.XLabel != "" || p.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelWidth), p.XLabel, p.YLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	if len(p.series) > 1 {
+		parts := make([]string, 0, len(p.series))
+		for _, s := range p.series {
+			parts = append(parts, fmt.Sprintf("%c=%s", s.marker, s.name))
+		}
+		if _, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelWidth), strings.Join(parts, "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tx maps an x value onto the (possibly log) axis.
+func (p *Plot) tx(v float64) (float64, bool) {
+	if p.LogX {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+func (p *Plot) ty(v float64) (float64, bool) {
+	if p.LogY {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, any bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, okx := p.tx(s.xs[i])
+			y, oky := p.ty(s.ys[i])
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	return xmin, xmax, ymin, ymax, any
+}
+
+// axisValue formats an axis endpoint, undoing the log transform for
+// display.
+func (p *Plot) axisValue(v float64, logAxis bool) string {
+	if logAxis {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, p *Plot) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderBasics(t *testing.T) {
+	p := New("demo")
+	p.XLabel, p.YLabel = "time", "volts"
+	p.Add("v", '*', []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	out := render(t, p)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing markers")
+	}
+	if !strings.Contains(out, "x: time, y: volts") {
+		t.Error("missing axis labels")
+	}
+	// A monotone series places a marker in the top row and bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row missing marker: %q", lines[1])
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(t, New("empty"))
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := New("flat")
+	p.Add("c", 'o', []float64{1, 2, 3}, []float64{5, 5, 5})
+	out := render(t, p)
+	if strings.Count(out, "o") == 0 {
+		t.Fatal("flat series rendered no markers")
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	p := New("log")
+	p.LogX, p.LogY = true, true
+	p.Add("s", '#', []float64{0, 10, 100, 1000}, []float64{-1, 1, 10, 100})
+	out := render(t, p)
+	// The two invalid points are dropped; the rest render.
+	if got := strings.Count(out, "#"); got != 3 {
+		t.Fatalf("marker count = %d, want 3", got)
+	}
+	// Log endpoints display in original units.
+	if !strings.Contains(out, "1.0e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("x max label missing: %q", out)
+	}
+}
+
+func TestMultiSeriesLegend(t *testing.T) {
+	p := New("legend")
+	p.Add("a", 'a', []float64{0, 1}, []float64{0, 1})
+	p.Add("b", 'b', []float64{0, 1}, []float64{1, 0})
+	out := render(t, p)
+	if !strings.Contains(out, "a=a") || !strings.Contains(out, "b=b") {
+		t.Fatalf("legend missing: %q", out)
+	}
+}
+
+func TestLaterSeriesWins(t *testing.T) {
+	p := New("overlap")
+	p.Width, p.Height = 8, 4
+	p.Add("first", '1', []float64{0, 1}, []float64{0, 1})
+	p.Add("second", '2', []float64{0, 1}, []float64{0, 1})
+	out := render(t, p)
+	if strings.Contains(out, "1") && !strings.Contains(out, "2") {
+		t.Fatal("second series did not overwrite")
+	}
+}
+
+func TestMismatchedLengthsTruncate(t *testing.T) {
+	p := New("mismatch")
+	p.Add("s", '*', []float64{0, 1, 2}, []float64{5})
+	out := render(t, p)
+	if got := strings.Count(out, "*"); got != 1 {
+		t.Fatalf("marker count = %d, want 1", got)
+	}
+}
+
+func TestTinyDimensionsClamped(t *testing.T) {
+	p := New("tiny")
+	p.Width, p.Height = 1, 1
+	p.Add("s", '*', []float64{0, 1}, []float64{0, 1})
+	out := render(t, p)
+	if out == "" {
+		t.Fatal("tiny plot rendered nothing")
+	}
+}
