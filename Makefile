@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The whole suite must be race-clean: the experiment sweeps fan out
+# across goroutines and the determinism golden tests run them at
+# several worker counts.
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper figure/table, plus the parallel sweep-engine
+# speedup (BenchmarkMatrixParallel).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# The full verify path: what CI runs.
+verify: build vet test race

@@ -8,6 +8,9 @@ package capybara
 // come from cmd/capybench.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"capybara/internal/core"
@@ -75,6 +78,28 @@ func BenchmarkFigure8(b *testing.B) {
 	b.ReportMetric(capy, "capyP-accuracy")
 	b.ReportMetric(fixed, "fixed-accuracy")
 	b.ReportMetric(capy/fixed, "improvement-x")
+}
+
+// BenchmarkMatrixParallel measures the sweep engine on the full
+// Fig. 8/9/11 run matrix at 1, 2, and GOMAXPROCS workers; the
+// jobs=1/jobs=N time ratio is the parallel speedup. The tables are
+// byte-identical at every worker count (see the determinism golden
+// tests), so the worker count is purely a wall-clock knob.
+func BenchmarkMatrixParallel(b *testing.B) {
+	for _, jobs := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := experiments.RunMatrixParallel(context.Background(),
+					experiments.DefaultSeed, 1.0, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(m.Runs) == 0 {
+					b.Fatal("empty matrix")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure9 regenerates the report-latency grid; the metric is

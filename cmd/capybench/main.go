@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	capybench [-fig all|2|3|4|8|9|10|11|mech|char|capysat|ablations] [-seed N] [-csv]
+//	capybench [-fig all|2|3|4|8|9|10|11|mech|char|capysat|ablations] [-seed N] [-csv] [-jobs N]
 //
 // Figures 8, 9, and 11 share one run matrix (every application under
 // every power system), so asking for any of them runs the full grid.
+// Independent simulations fan out across -jobs workers (default: every
+// CPU); the emitted tables are byte-identical at any worker count, so
+// -jobs only changes wall time, never a number.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"capybara/internal/core"
@@ -29,15 +34,17 @@ func main() {
 	orbits := flag.Int("orbits", 4, "orbits for the CapySat study")
 	plot := flag.Bool("plot", false, "also render ASCII plots for figures 2, 3, 4, and 10")
 	outDir := flag.String("out", "", "also write each table as a CSV file into this directory")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 forces the serial path)")
 	flag.Parse()
 
-	if err := run(*fig, *seed, *asCSV, *orbits, *plot, *outDir); err != nil {
+	if err := run(*fig, *seed, *asCSV, *orbits, *plot, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "capybench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir string) error {
+func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir string, jobs int) error {
+	ctx := context.Background()
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -81,7 +88,10 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 		}
 	}
 	if all || fig == "3" {
-		points := experiments.Figure3()
+		points, err := experiments.Figure3Parallel(ctx, jobs)
+		if err != nil {
+			return err
+		}
 		if err := emit(experiments.Fig3Table(points)); err != nil {
 			return err
 		}
@@ -90,7 +100,10 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 		}
 	}
 	if all || fig == "4" {
-		points := experiments.Figure4()
+		points, err := experiments.Figure4Parallel(ctx, jobs)
+		if err != nil {
+			return err
+		}
 		if err := emit(experiments.Fig4Table(points)); err != nil {
 			return err
 		}
@@ -99,7 +112,7 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 		}
 	}
 	if matrixNeeded {
-		m, err := experiments.RunMatrix(seed)
+		m, err := experiments.RunMatrixParallel(ctx, seed, 1.0, jobs)
 		if err != nil {
 			return err
 		}
@@ -127,7 +140,8 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 			experiments.TASensitivity(), experiments.GRCSensitivity(),
 		} {
 			cfg.Seed = seed
-			points, err := experiments.Figure10(cfg)
+			cfg.Jobs = jobs
+			points, err := experiments.Figure10Ctx(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -174,9 +188,9 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 	if all || fig == "seeds" {
 		var rows []experiments.SeedStats
 		for _, app := range []string{"TempAlarm", "GestureFast", "CorrSense"} {
-			r, err := experiments.MultiSeed(app,
+			r, err := experiments.MultiSeedParallel(ctx, app,
 				[]core.Variant{core.Fixed, core.CapyR, core.CapyP},
-				experiments.DefaultSeeds(5), 1.0)
+				experiments.DefaultSeeds(5), 1.0, jobs)
 			if err != nil {
 				return err
 			}

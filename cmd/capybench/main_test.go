@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestSlugify(t *testing.T) {
 	tests := []struct{ in, want string }{
@@ -17,16 +21,70 @@ func TestSlugify(t *testing.T) {
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
-	if err := run("zzz", 1, false, 1, false, ""); err == nil {
+	if err := run("zzz", 1, false, 1, false, "", 1); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
+// TestTablesIdenticalAcrossJobs is the CLI-level determinism golden
+// test: for the same seed, every CSV file capybench emits must be
+// byte-identical between -jobs 1 and -jobs 8. Figure 8 exercises the
+// run matrix (the expensive grid behind Figs. 8/9/11); 3 and 4 cover
+// the design-space sweeps.
+func TestTablesIdenticalAcrossJobs(t *testing.T) {
+	figs := []string{"3", "4"}
+	if !testing.Short() {
+		figs = append(figs, "8")
+	}
+	// Silence the table prints; the CSVs in -out are what we compare.
+	stdout := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = stdout
+		devnull.Close()
+	}()
+
+	for _, fig := range figs {
+		serialDir, parallelDir := t.TempDir(), t.TempDir()
+		if err := run(fig, 42, false, 1, false, serialDir, 1); err != nil {
+			t.Fatalf("run(%s, jobs=1): %v", fig, err)
+		}
+		if err := run(fig, 42, false, 1, false, parallelDir, 8); err != nil {
+			t.Fatalf("run(%s, jobs=8): %v", fig, err)
+		}
+		files, err := filepath.Glob(filepath.Join(serialDir, "*.csv"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("fig %s: no CSVs emitted (%v)", fig, err)
+		}
+		for _, f := range files {
+			want, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(parallelDir, filepath.Base(f)))
+			if err != nil {
+				t.Fatalf("fig %s: jobs=8 did not emit %s: %v", fig, filepath.Base(f), err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("fig %s: %s differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s",
+					fig, filepath.Base(f), want, got)
+			}
+		}
+	}
+}
+
 func TestRunFastFigures(t *testing.T) {
-	// The cheap figures run end-to-end (stdout noise is fine in tests).
-	for _, fig := range []string{"3", "4", "mech", "char"} {
-		if err := run(fig, 1, true, 1, false, t.TempDir()); err != nil {
-			t.Errorf("run(%s): %v", fig, err)
+	// The cheap figures run end-to-end (stdout noise is fine in tests),
+	// on both the serial and the parallel path.
+	for _, jobs := range []int{1, 4} {
+		for _, fig := range []string{"3", "4", "mech", "char"} {
+			if err := run(fig, 1, true, 1, false, t.TempDir(), jobs); err != nil {
+				t.Errorf("run(%s, jobs=%d): %v", fig, jobs, err)
+			}
 		}
 	}
 }

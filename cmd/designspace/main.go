@@ -3,37 +3,52 @@
 //
 // Usage:
 //
-//	designspace [-fig 3|4|both]
+//	designspace [-fig 3|4|both] [-jobs N]
+//
+// Sweep points evaluate in parallel across -jobs workers (default:
+// every CPU); the emitted series are identical at any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"capybara/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "both", "which sweep: 3, 4, or both")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel sweep jobs (1 forces the serial path)")
 	flag.Parse()
 
+	ctx := context.Background()
+	var err error
 	switch *fig {
 	case "3":
-		figure3()
+		err = figure3(ctx, *jobs)
 	case "4":
-		figure4()
+		err = figure4(ctx, *jobs)
 	case "both":
-		figure3()
-		figure4()
+		if err = figure3(ctx, *jobs); err == nil {
+			err = figure4(ctx, *jobs)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "designspace: unknown figure %q\n", *fig)
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
 		os.Exit(1)
 	}
 }
 
-func figure3() {
-	points := experiments.Figure3()
+func figure3(ctx context.Context, jobs int) error {
+	points, err := experiments.Figure3Parallel(ctx, jobs)
+	if err != nil {
+		return err
+	}
 	// Classify against the paper's example requirement (the dashed
 	// line): ~1.5 Mops.
 	regions := experiments.ClassifyFig3(points, 1.5)
@@ -43,12 +58,18 @@ func figure3() {
 		fmt.Printf("%.1f,%.4f,%.4f,%s\n", float64(p.C)*1e6, float64(p.OnFor), p.Mops, regions[p.C])
 	}
 	fmt.Println()
+	return nil
 }
 
-func figure4() {
+func figure4(ctx context.Context, jobs int) error {
+	points, err := experiments.Figure4Parallel(ctx, jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Println("# Figure 4 — atomicity vs volume by technology")
 	fmt.Println("technology,units,volume_mm3,atomicity_Mops")
-	for _, p := range experiments.Figure4() {
+	for _, p := range points {
 		fmt.Printf("%s,%d,%.1f,%.4f\n", p.Tech, p.Units, float64(p.Volume), p.Mops)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -10,6 +11,7 @@ import (
 	"capybara/internal/metrics"
 	"capybara/internal/power"
 	"capybara/internal/reservoir"
+	"capybara/internal/runner"
 	"capybara/internal/sim"
 	"capybara/internal/storage"
 	"capybara/internal/task"
@@ -139,11 +141,29 @@ type Fig3Point struct {
 // Figure3 sweeps capacitance logarithmically from 50 µF to 20 mF, as in
 // the paper's 10²–10⁴ µF axis.
 func Figure3() []Fig3Point {
-	sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
-	mcu := device.MSP430FR5969()
-	var points []Fig3Point
+	points, err := Figure3Parallel(context.Background(), 0)
+	if err != nil {
+		// Sweep jobs cannot fail; an error here is a recovered panic
+		// (runner.PanicError) and deserves to surface as one.
+		panic(err)
+	}
+	return points
+}
+
+// Figure3Parallel runs the capacitance sweep with one job per sample
+// point across jobs workers (<= 0 means every CPU, 1 forces the serial
+// path). Each job builds its own power system, MCU model, and bank, so
+// nothing is shared between goroutines and the curve is identical at
+// any worker count.
+func Figure3Parallel(ctx context.Context, jobs int) ([]Fig3Point, error) {
+	var caps []units.Capacitance
 	for exp := 0.0; exp <= 1.0001; exp += 1.0 / 24 {
-		c := units.Capacitance(50e-6 * math.Pow(20e-3/50e-6, exp))
+		caps = append(caps, units.Capacitance(50e-6*math.Pow(20e-3/50e-6, exp)))
+	}
+	return runner.Map(ctx, jobs, len(caps), func(ctx context.Context, i int) (Fig3Point, error) {
+		sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+		mcu := device.MSP430FR5969()
+		c := caps[i]
 		// A low-ESR bank of exactly this capacitance.
 		tech := storage.Technology{
 			Name: "sweep", UnitCap: c, UnitVolume: 1, UnitESR: 0.05, RatedVoltage: 3.6,
@@ -151,13 +171,12 @@ func Figure3() []Fig3Point {
 		b := storage.MustBank("sweep", storage.GroupOf(tech, 1))
 		b.SetVoltage(core.DefaultVTop)
 		on := sys.OperatingTime(b, mcu.ActivePower)
-		points = append(points, Fig3Point{
+		return Fig3Point{
 			C:     c,
 			Mops:  float64(on) * mcu.OpsPerSecond / 1e6,
 			OnFor: on,
-		})
-	}
-	return points
+		}, nil
+	})
 }
 
 // Fig3Region classifies a design point against an atomicity
@@ -234,28 +253,47 @@ type Fig4Point struct {
 
 // Figure4 sweeps unit counts of each technology up to 35 mm³.
 func Figure4() []Fig4Point {
-	sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
-	mcu := device.MSP430FR5969()
-	const maxVolume units.Volume = 35
-	var points []Fig4Point
-	for _, tech := range []storage.Technology{storage.CeramicX5R, storage.SupercapCPH3225A} {
-		for n := 1; ; n++ {
-			g := storage.GroupOf(tech, n)
-			if g.Volume() > maxVolume {
-				break
-			}
-			b := storage.MustBank("sweep", g)
-			b.SetVoltage(b.RatedVoltage())
-			on := sys.OperatingTime(b, mcu.ActivePower)
-			points = append(points, Fig4Point{
-				Tech:   tech.Name,
-				Units:  n,
-				Volume: g.Volume(),
-				Mops:   float64(on) * mcu.OpsPerSecond / 1e6,
-			})
-		}
+	points, err := Figure4Parallel(context.Background(), 0)
+	if err != nil {
+		// Sweep jobs cannot fail; an error here is a recovered panic
+		// (runner.PanicError) and deserves to surface as one.
+		panic(err)
 	}
 	return points
+}
+
+// Figure4Parallel runs the volume sweep with one job per
+// (technology, unit count) point across jobs workers (<= 0 means every
+// CPU, 1 forces the serial path). The cheap volume enumeration stays
+// serial; only the operating-time evaluation fans out, with each job
+// building its own power system and bank.
+func Figure4Parallel(ctx context.Context, jobs int) ([]Fig4Point, error) {
+	const maxVolume units.Volume = 35
+	type sample struct {
+		tech  storage.Technology
+		units int
+	}
+	var samples []sample
+	for _, tech := range []storage.Technology{storage.CeramicX5R, storage.SupercapCPH3225A} {
+		for n := 1; storage.GroupOf(tech, n).Volume() <= maxVolume; n++ {
+			samples = append(samples, sample{tech: tech, units: n})
+		}
+	}
+	return runner.Map(ctx, jobs, len(samples), func(ctx context.Context, i int) (Fig4Point, error) {
+		sys := power.NewSystem(harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0})
+		mcu := device.MSP430FR5969()
+		s := samples[i]
+		g := storage.GroupOf(s.tech, s.units)
+		b := storage.MustBank("sweep", g)
+		b.SetVoltage(b.RatedVoltage())
+		on := sys.OperatingTime(b, mcu.ActivePower)
+		return Fig4Point{
+			Tech:   s.tech.Name,
+			Units:  s.units,
+			Volume: g.Volume(),
+			Mops:   float64(on) * mcu.OpsPerSecond / 1e6,
+		}, nil
+	})
 }
 
 // Fig4Table renders the Figure 4 sweep.

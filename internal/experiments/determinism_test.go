@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"capybara/internal/core"
+	"capybara/internal/units"
+)
+
+// These golden tests pin the sweep engine's central guarantee: the
+// worker count is a performance knob, never an experimental input.
+// Every table a figure emits must be byte-identical between the serial
+// path (-jobs 1) and a parallel run (-jobs 8), so parallelism can never
+// silently change a paper number.
+
+// renderMatrix serializes every table the run matrix feeds (Figs. 8, 9,
+// and 11) into one byte string.
+func renderMatrix(t *testing.T, m *Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tab := range []*Table{m.AccuracyTable(), m.LatencyTable(), m.GapTable()} {
+		if err := tab.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestMatrixTablesIdenticalAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	serial, err := RunMatrixParallel(ctx, DefaultSeed, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderMatrix(t, serial)
+	for _, jobs := range []int{3, 8} {
+		m, err := RunMatrixParallel(ctx, DefaultSeed, 0.2, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderMatrix(t, m); !bytes.Equal(got, want) {
+			t.Errorf("jobs=%d: matrix tables differ from the serial run:\n--- jobs=1\n%s\n--- jobs=%d\n%s",
+				jobs, want, jobs, got)
+		}
+	}
+}
+
+func TestDesignSpaceTablesIdenticalAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	render := func(jobs int) []byte {
+		p3, err := Figure3Parallel(ctx, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p4, err := Figure4Parallel(ctx, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tab := range []*Table{Fig3Table(p3), Fig4Table(p4)} {
+			if err := tab.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	if got := render(8); !bytes.Equal(got, want) {
+		t.Errorf("design-space tables differ:\n--- jobs=1\n%s\n--- jobs=8\n%s", want, got)
+	}
+}
+
+func TestFig10TableIdenticalAcrossWorkers(t *testing.T) {
+	cfg := Fig10Config{
+		App:      "TempAlarm",
+		Means:    []units.Seconds{150, 300},
+		Events:   10,
+		Variants: Variants(),
+		Seed:     DefaultSeed,
+	}
+	render := func(jobs int) []byte {
+		cfg.Jobs = jobs
+		points, err := Figure10Ctx(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Fig10Table(cfg, points).Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	if got := render(8); !bytes.Equal(got, want) {
+		t.Errorf("Fig. 10 table differs:\n--- jobs=1\n%s\n--- jobs=8\n%s", want, got)
+	}
+}
+
+func TestMultiSeedTableIdenticalAcrossWorkers(t *testing.T) {
+	variants := []core.Variant{core.Fixed, core.CapyP}
+	seeds := DefaultSeeds(3)
+	render := func(jobs int) []byte {
+		rows, err := MultiSeedParallel(context.Background(), "TempAlarm", variants, seeds, 0.1, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := MultiSeedTable(rows).Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	if got := render(8); !bytes.Equal(got, want) {
+		t.Errorf("multi-seed table differs:\n--- jobs=1\n%s\n--- jobs=8\n%s", want, got)
+	}
+}

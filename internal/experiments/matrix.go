@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"capybara/internal/core"
 	"capybara/internal/env"
 	"capybara/internal/metrics"
+	"capybara/internal/runner"
 	"capybara/internal/units"
 )
 
@@ -28,7 +30,8 @@ type Matrix struct {
 // RunMatrix executes the complete evaluation grid with the default
 // schedules (§6.2: TA 50 events over 120 min; GRC and CSR 80 events
 // over 42 min). The same schedule drives every system of an
-// application, as on the paper's testbed.
+// application, as on the paper's testbed. Cells run in parallel
+// across every CPU; the tables are byte-identical at any worker count.
 func RunMatrix(seed int64) (*Matrix, error) {
 	return RunMatrixScaled(seed, 1.0)
 }
@@ -36,33 +39,69 @@ func RunMatrix(seed int64) (*Matrix, error) {
 // RunMatrixScaled runs the grid with event counts scaled by frac in
 // (0, 1] — used by tests to keep wall time short.
 func RunMatrixScaled(seed int64, frac float64) (*Matrix, error) {
+	return RunMatrixParallel(context.Background(), seed, frac, 0)
+}
+
+// RunMatrixParallel runs the grid with one job per app×variant cell
+// fanned across jobs workers (<= 0 means every CPU, 1 forces the
+// serial path). Each cell regenerates its application's schedule from
+// the seed with a private *rand.Rand, so every system of an
+// application sees the identical event sequence — as on the paper's
+// testbed — without any RNG state shared between goroutines, and the
+// resulting tables are byte-identical at any worker count.
+func RunMatrixParallel(ctx context.Context, seed int64, frac float64, jobs int) (*Matrix, error) {
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("experiments: bad scale %g", frac)
 	}
-	m := &Matrix{Seed: seed, Runs: make(map[string]map[core.Variant]*apps.Run)}
+	type cell struct {
+		name    string
+		spec    apps.Spec
+		variant core.Variant
+	}
+	var cells []cell
 	for _, name := range apps.SpecNames() {
 		spec, err := apps.SpecByName(name)
 		if err != nil {
 			return nil, err
 		}
-		n := int(float64(spec.Events) * frac)
-		if n < 1 {
-			n = 1
-		}
-		sched := env.Poisson(rand.New(rand.NewSource(seed)), n, spec.Mean, spec.Window)
-		m.Runs[name] = make(map[core.Variant]*apps.Run, 4)
 		for _, v := range Variants() {
-			run, err := spec.Build(v, sched, nil)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: build %s/%v: %w", name, v, err)
-			}
-			if err := run.Execute(); err != nil {
-				return nil, fmt.Errorf("experiments: run %s/%v: %w", name, v, err)
-			}
-			m.Runs[name][v] = run
+			cells = append(cells, cell{name: name, spec: spec, variant: v})
 		}
 	}
+	runs, err := runner.Map(ctx, jobs, len(cells), func(ctx context.Context, i int) (*apps.Run, error) {
+		c := cells[i]
+		n := scaledEvents(c.spec.Events, frac)
+		sched := env.Poisson(rand.New(rand.NewSource(seed)), n, c.spec.Mean, c.spec.Window)
+		run, err := c.spec.Build(c.variant, sched, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build %s/%v: %w", c.name, c.variant, err)
+		}
+		if err := run.Execute(); err != nil {
+			return nil, fmt.Errorf("experiments: run %s/%v: %w", c.name, c.variant, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Seed: seed, Runs: make(map[string]map[core.Variant]*apps.Run)}
+	for i, run := range runs {
+		c := cells[i]
+		if m.Runs[c.name] == nil {
+			m.Runs[c.name] = make(map[core.Variant]*apps.Run, 4)
+		}
+		m.Runs[c.name][c.variant] = run
+	}
 	return m, nil
+}
+
+// scaledEvents scales an event count by frac, keeping at least one.
+func scaledEvents(events int, frac float64) int {
+	n := int(float64(events) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // AccuracyTable renders Figure 8 — event detection accuracy per

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"capybara/internal/apps"
 	"capybara/internal/core"
 	"capybara/internal/env"
+	"capybara/internal/runner"
 )
 
 // Multi-seed robustness: the paper evaluates one event sequence per
@@ -26,6 +28,16 @@ type SeedStats struct {
 // MultiSeed runs app under each variant for every seed and aggregates
 // the correct fraction. Events scale by frac in (0, 1].
 func MultiSeed(app string, variants []core.Variant, seeds []int64, frac float64) ([]SeedStats, error) {
+	return MultiSeedParallel(context.Background(), app, variants, seeds, frac, 0)
+}
+
+// MultiSeedParallel runs the variant×seed grid with one job per cell
+// fanned across jobs workers (<= 0 means every CPU, 1 forces the
+// serial path). Each cell regenerates its schedule from its own seed
+// with a private *rand.Rand, and the per-variant aggregation sums the
+// correct fractions in seed order, so the statistics are bit-identical
+// at any worker count.
+func MultiSeedParallel(ctx context.Context, app string, variants []core.Variant, seeds []int64, frac float64, jobs int) ([]SeedStats, error) {
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("experiments: bad scale %g", frac)
 	}
@@ -33,24 +45,29 @@ func MultiSeed(app string, variants []core.Variant, seeds []int64, frac float64)
 	if err != nil {
 		return nil, err
 	}
-	n := int(float64(spec.Events) * frac)
-	if n < 1 {
-		n = 1
-	}
-	out := make([]SeedStats, 0, len(variants))
-	for _, v := range variants {
-		stats := SeedStats{App: app, Variant: v, Seeds: len(seeds), Min: math.Inf(1), Max: math.Inf(-1)}
-		var sum, sumSq float64
-		for _, seed := range seeds {
+	n := scaledEvents(spec.Events, frac)
+	fractions, err := runner.Map(ctx, jobs, len(variants)*len(seeds),
+		func(ctx context.Context, i int) (float64, error) {
+			v := variants[i/len(seeds)]
+			seed := seeds[i%len(seeds)]
 			sched := env.Poisson(rand.New(rand.NewSource(seed)), n, spec.Mean, spec.Window)
 			run, err := spec.Build(v, sched, nil)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if err := run.Execute(); err != nil {
-				return nil, err
+				return 0, err
 			}
-			f := run.Accuracy().FractionCorrect()
+			return run.Accuracy().FractionCorrect(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SeedStats, 0, len(variants))
+	for vi, v := range variants {
+		stats := SeedStats{App: app, Variant: v, Seeds: len(seeds), Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum, sumSq float64
+		for _, f := range fractions[vi*len(seeds) : (vi+1)*len(seeds)] {
 			sum += f
 			sumSq += f * f
 			stats.Min = math.Min(stats.Min, f)

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"capybara/internal/apps"
 	"capybara/internal/core"
 	"capybara/internal/env"
+	"capybara/internal/runner"
 	"capybara/internal/units"
 )
 
@@ -30,6 +32,9 @@ type Fig10Config struct {
 	Events   int
 	Variants []core.Variant
 	Seed     int64
+	// Jobs is the worker count for the sweep: <= 0 means every CPU,
+	// 1 forces the serial path. The points are identical either way.
+	Jobs int
 }
 
 // TASensitivity returns the paper's TempAlarm sweep configuration
@@ -57,29 +62,37 @@ func GRCSensitivity() Fig10Config {
 	}
 }
 
-// Figure10 executes a sensitivity sweep.
+// Figure10 executes a sensitivity sweep with one job per
+// (mean, variant) point. Each job regenerates its mean's schedule from
+// cfg.Seed with a private *rand.Rand, so no RNG state crosses
+// goroutines and the points come back in sweep order at any worker
+// count.
 func Figure10(cfg Fig10Config) ([]Fig10Point, error) {
+	return Figure10Ctx(context.Background(), cfg)
+}
+
+// Figure10Ctx is Figure10 with cancellation.
+func Figure10Ctx(ctx context.Context, cfg Fig10Config) ([]Fig10Point, error) {
 	spec, err := apps.SpecByName(cfg.App)
 	if err != nil {
 		return nil, err
 	}
-	var points []Fig10Point
-	for _, mean := range cfg.Means {
-		sched := env.Poisson(rand.New(rand.NewSource(cfg.Seed)), cfg.Events, mean, spec.Window)
-		for _, v := range cfg.Variants {
+	return runner.Map(ctx, cfg.Jobs, len(cfg.Means)*len(cfg.Variants),
+		func(ctx context.Context, i int) (Fig10Point, error) {
+			mean := cfg.Means[i/len(cfg.Variants)]
+			v := cfg.Variants[i%len(cfg.Variants)]
+			sched := env.Poisson(rand.New(rand.NewSource(cfg.Seed)), cfg.Events, mean, spec.Window)
 			run, err := spec.Build(v, sched, nil)
 			if err != nil {
-				return nil, err
+				return Fig10Point{}, err
 			}
 			if err := run.Execute(); err != nil {
-				return nil, err
+				return Fig10Point{}, err
 			}
 			a := run.Accuracy()
 			reported := float64(a.Correct+a.Misclassified) / float64(a.Total)
-			points = append(points, Fig10Point{Mean: mean, Variant: v, Reported: reported})
-		}
-	}
-	return points, nil
+			return Fig10Point{Mean: mean, Variant: v, Reported: reported}, nil
+		})
 }
 
 // Fig10Table renders a sensitivity sweep with one row per mean and one

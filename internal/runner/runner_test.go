@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestMapOrder: results come back in input order for every
+// (job count × worker count) combination, including workers > jobs,
+// the serial path, and the default worker count.
+func TestMapOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 100} {
+		for _, workers := range []int{-1, 0, 1, 2, 3, 8, 200} {
+			got, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatalf("Map(workers=%d, n=%d): %v", workers, n, err)
+			}
+			if len(got) != n {
+				t.Fatalf("Map(workers=%d, n=%d): %d results", workers, n, len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("Map(workers=%d, n=%d): result[%d] = %d, want %d", workers, n, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapOrderProperty drives the ordering invariant with testing/quick
+// over arbitrary job and worker counts.
+func TestMapOrderProperty(t *testing.T) {
+	prop := func(jobs uint8, workers uint8) bool {
+		n := int(jobs % 64)
+		w := int(workers%16) - 1 // exercise <= 0 too
+		got, err := Map(context.Background(), w, n, func(_ context.Context, i int) (int, error) {
+			return 3*i + 1, nil
+		})
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != 3*i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapNegativeCount: a negative job count is an error, not a hang.
+func TestMapNegativeCount(t *testing.T) {
+	if _, err := Map(context.Background(), 4, -1, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err == nil {
+		t.Fatal("negative job count accepted")
+	}
+}
+
+// TestMapFirstError: when several jobs fail, the lowest-indexed job's
+// error is returned — deterministically, at any worker count — and the
+// result slice is nil.
+func TestMapFirstError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(context.Background(), workers, 20, func(_ context.Context, i int) (int, error) {
+			if i >= 5 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if got != nil {
+			t.Fatalf("workers=%d: results returned alongside error", workers)
+		}
+		if err == nil || err.Error() != "job 5 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 5's", workers, err)
+		}
+	}
+}
+
+// TestMapErrorCancelsInFlight: the first failure cancels the context
+// seen by running jobs and stops dispatching queued ones.
+func TestMapErrorCancelsInFlight(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 4, 100, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Jobs block until the failure cancels them; without
+		// cancellation this would wait out the test timeout.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return 0, errors.New("cancellation never arrived")
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Fatalf("all %d jobs started despite early failure", n)
+	}
+}
+
+// TestMapPanic: a panicking job is recovered into a *PanicError naming
+// the job index, on both the serial and the parallel path.
+func TestMapPanic(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		_, err := Map(context.Background(), workers, 10, func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Job != 7 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: PanicError = {Job: %d, Value: %v}", workers, pe.Job, pe.Value)
+		}
+		if want := "runner: job 7 panicked: kaboom"; err.Error() != want {
+			t.Fatalf("workers=%d: message %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+// TestMapCancelledContext: a context cancelled before Map starts
+// surfaces as its error without running jobs.
+func TestMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		_, err := Map(ctx, workers, 5, func(_ context.Context, i int) (int, error) {
+			ran = true
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran {
+			t.Fatal("serial path ran a job under a cancelled context")
+		}
+	}
+}
+
+// TestPoolRun: the untyped wrapper keeps Map's guarantees.
+func TestPoolRun(t *testing.T) {
+	hits := make([]atomic.Int32, 10)
+	if err := (Pool{Workers: 3}).Run(context.Background(), len(hits), func(_ context.Context, i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("job %d ran %d times", i, hits[i].Load())
+		}
+	}
+	wantErr := errors.New("nope")
+	if err := (Pool{}).Run(context.Background(), 3, func(_ context.Context, i int) error {
+		if i == 1 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("Pool.Run err = %v, want %v", err, wantErr)
+	}
+}
+
+// TestRNG: streams are a pure function of (seed, job), and neighboring
+// jobs or seeds do not alias.
+func TestRNG(t *testing.T) {
+	a, b := RNG(42, 3), RNG(42, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, job) diverged")
+		}
+	}
+	seen := map[uint64]string{}
+	for seed := int64(0); seed < 4; seed++ {
+		for job := 0; job < 16; job++ {
+			v := RNG(seed, job).Uint64()
+			key := fmt.Sprintf("seed %d job %d", seed, job)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("%s collides with %s", key, prev)
+			}
+			seen[v] = key
+		}
+	}
+}
