@@ -1,6 +1,8 @@
 GO ?= go
+# bash for pipefail in the bench targets.
+SHELL := /bin/bash
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-short verify
 
 build:
 	$(GO) build ./...
@@ -18,9 +20,17 @@ race:
 	$(GO) test -race ./...
 
 # One benchmark per paper figure/table, plus the parallel sweep-engine
-# speedup (BenchmarkMatrixParallel).
+# speedup (BenchmarkMatrixParallel). The run is piped through benchjson,
+# which echoes the output and records the trajectory (ns/op, B/op,
+# allocs/op, custom metrics) in BENCH_sim.json so perf regressions show
+# up as a diff. set -o pipefail keeps a bench failure fatal.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	set -o pipefail; $(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# The quick CI variant: one iteration per benchmark, just enough to
+# keep BENCH_sim.json parseable and the trajectory fresh.
+bench-short:
+	set -o pipefail; $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # The full verify path: what CI runs.
 verify: build vet test race

@@ -123,10 +123,10 @@ func TestFacadeHarvestAndSchedule(t *testing.T) {
 		t.Fatal("limiter did not clamp")
 	}
 	blk := BlackoutTrace(ConstantTrace(1), [2]Seconds{5, 10})
-	if blk(7) != 0 || blk(20) != 1 {
+	if blk.Level(7) != 0 || blk.Level(20) != 1 {
 		t.Fatal("blackout trace wrong")
 	}
-	if DiurnalTrace(Minute)(Minute/4) < 0.99 {
+	if DiurnalTrace(Minute).Level(Minute/4) < 0.99 {
 		t.Fatal("diurnal trace wrong")
 	}
 

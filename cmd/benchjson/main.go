@@ -1,0 +1,128 @@
+// Benchjson converts `go test -bench` output into a machine-readable
+// trajectory file so performance regressions show up as a diff, not a
+// feeling.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -out BENCH_sim.json
+//
+// The benchmark output is echoed through to stdout unchanged, so the
+// tool can sit at the end of a pipe without hiding anything. The JSON
+// records ns/op, B/op, allocs/op, and any custom ReportMetric series
+// (e.g. Figure 8's accuracy metrics) per benchmark, plus the cpu and
+// goos/goarch context lines go test prints.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_sim.json schema.
+type File struct {
+	// Context lines from go test ("cpu: ...", "goos: ...").
+	Context    []string `json:"context,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output file")
+	flag.Parse()
+
+	file, err := parse(os.Stdin, os.Stdout)
+	if err == nil {
+		err = write(*out, file)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(in *os.File, echo *os.File) (*File, error) {
+	file := &File{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			file.Context = append(file.Context, strings.TrimSpace(line))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				file.Benchmarks = append(file.Benchmarks, r)
+			}
+		}
+	}
+	return file, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFigure8  3  498694333 ns/op  0.7306 capyP-accuracy  234364018 B/op  353008 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends under -cpu.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		case "MB/s":
+			// Throughput is derivable from ns/op; skip.
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}
+
+func write(path string, file *File) error {
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -23,6 +23,7 @@ import (
 
 	"capybara/internal/core"
 	"capybara/internal/experiments"
+	"capybara/internal/prof"
 	"capybara/internal/sim"
 	"capybara/internal/viz"
 )
@@ -35,9 +36,21 @@ func main() {
 	plot := flag.Bool("plot", false, "also render ASCII plots for figures 2, 3, 4, and 10")
 	outDir := flag.String("out", "", "also write each table as a CSV file into this directory")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 forces the serial path)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*fig, *seed, *asCSV, *orbits, *plot, *outDir, *jobs); err != nil {
+	stop, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capybench:", err)
+		os.Exit(1)
+	}
+	err = run(*fig, *seed, *asCSV, *orbits, *plot, *outDir, *jobs)
+	stop()
+	if err == nil {
+		err = prof.WriteHeap(*memProfile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "capybench:", err)
 		os.Exit(1)
 	}

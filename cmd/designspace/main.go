@@ -17,15 +17,23 @@ import (
 	"runtime"
 
 	"capybara/internal/experiments"
+	"capybara/internal/prof"
 )
 
 func main() {
 	fig := flag.String("fig", "both", "which sweep: 3, 4, or both")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel sweep jobs (1 forces the serial path)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	stop, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
+
 	ctx := context.Background()
-	var err error
 	switch *fig {
 	case "3":
 		err = figure3(ctx, *jobs)
@@ -37,6 +45,12 @@ func main() {
 		}
 	default:
 		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	// os.Exit skips defers, so the profile stop runs explicitly before
+	// any error exit — a truncated profile is worse than none.
+	stop()
+	if err == nil {
+		err = prof.WriteHeap(*memProfile)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "designspace:", err)

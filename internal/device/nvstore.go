@@ -71,6 +71,15 @@ func (s *NVStore) SetBlob(key string, b []byte) {
 	s.writes++
 }
 
+// SetBlobOwned durably stores b under key without copying. The caller
+// relinquishes ownership: b must not be read or written afterwards.
+// The task engine's commit path uses this to move staged blobs into NV
+// without a copy per transition; external callers should use SetBlob.
+func (s *NVStore) SetBlobOwned(key string, b []byte) {
+	s.blobs[key] = b
+	s.writes++
+}
+
 // Blob returns a copy of the blob stored under key.
 func (s *NVStore) Blob(key string) ([]byte, bool) {
 	b, ok := s.blobs[key]
@@ -80,6 +89,16 @@ func (s *NVStore) Blob(key string) ([]byte, bool) {
 	cp := make([]byte, len(b))
 	copy(cp, b)
 	return cp, true
+}
+
+// PeekBlob returns the blob stored under key without copying. The
+// returned slice aliases the store: callers must treat it as read-only
+// and must not retain it across writes. Hot read paths (the task
+// engine's current-task lookup runs once per scheduler iteration) use
+// this to avoid a copy per read; everything else should use Blob.
+func (s *NVStore) PeekBlob(key string) ([]byte, bool) {
+	b, ok := s.blobs[key]
+	return b, ok
 }
 
 // AppendFloat appends a float64 to a durable series under key — the

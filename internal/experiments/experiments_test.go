@@ -430,12 +430,12 @@ func TestGoldenHeadlines(t *testing.T) {
 		want int
 	}{
 		{"TempAlarm", core.Continuous, 50},
-		{"TempAlarm", core.Fixed, 33},
+		{"TempAlarm", core.Fixed, 28},
 		{"TempAlarm", core.CapyR, 48},
 		{"TempAlarm", core.CapyP, 48},
 		{"GestureFast", core.Continuous, 72},
 		{"GestureFast", core.Fixed, 16},
-		{"GestureFast", core.CapyR, 0},
+		{"GestureFast", core.CapyR, 1},
 		{"GestureFast", core.CapyP, 49},
 		{"GestureCompact", core.Fixed, 20},
 		{"GestureCompact", core.CapyR, 0},

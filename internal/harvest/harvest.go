@@ -26,14 +26,104 @@ type Source interface {
 	VoltageAt(t units.Seconds) units.Voltage
 }
 
+// Stepped is optionally implemented by sources and traces whose output
+// is piecewise constant. NextChange(t) returns a duration h > 0 such
+// that the output is constant on [t, t+h); h may be Forever for
+// sources that never change. Implementations must be conservative: it
+// is always legal to report a horizon shorter than the true one, and a
+// return of 0 means "unknown — assume the output can change at any
+// moment". The event-driven charge solver (internal/power,
+// internal/sim) uses this to jump analytically across whole segments
+// instead of ticking a fixed-step clock.
+type Stepped interface {
+	NextChange(t units.Seconds) units.Seconds
+}
+
+// Forever is the horizon reported by sources whose output never
+// changes (regulated supplies, constant traces).
+var Forever = units.Seconds(math.Inf(1))
+
+// NextChange reports how long x's output is guaranteed constant
+// starting at t. x is typically a Source or a Trace. If x does not
+// implement Stepped (or reports an unusable horizon), NextChange
+// returns 0: callers must fall back to conservative fixed-step
+// integration.
+func NextChange(x any, t units.Seconds) units.Seconds {
+	st, ok := x.(Stepped)
+	if !ok {
+		return 0
+	}
+	h := st.NextChange(t)
+	if h < 0 || math.IsNaN(float64(h)) {
+		return 0
+	}
+	return h
+}
+
 // Trace is a dimensionless environmental intensity over time in [0, 1]
-// (e.g. normalized irradiance). Traces compose multiplicatively.
-type Trace func(t units.Seconds) float64
+// (e.g. normalized irradiance). Traces compose multiplicatively. The
+// constructors in this package return traces that also implement
+// Stepped where the shape allows it.
+type Trace interface {
+	Level(t units.Seconds) float64
+}
+
+// TraceFunc adapts an arbitrary function to the Trace interface. It is
+// opaque to the event solver (no Stepped implementation), so sources
+// driven by a TraceFunc take the conservative fixed-step path.
+type TraceFunc func(t units.Seconds) float64
+
+// Level implements Trace.
+func (f TraceFunc) Level(t units.Seconds) float64 { return f(t) }
+
+type constantTrace float64
+
+func (c constantTrace) Level(units.Seconds) float64            { return float64(c) }
+func (c constantTrace) NextChange(units.Seconds) units.Seconds { return Forever }
 
 // ConstantTrace returns level at all times, clamped to [0, 1].
 func ConstantTrace(level float64) Trace {
-	level = clamp01(level)
-	return func(units.Seconds) float64 { return level }
+	return constantTrace(clamp01(level))
+}
+
+type pwmTrace struct {
+	duty   float64
+	period units.Seconds
+}
+
+func (p pwmTrace) phase(t units.Seconds) float64 {
+	ph := math.Mod(float64(t), float64(p.period)) / float64(p.period)
+	if ph < 0 {
+		ph += 1
+	}
+	return ph
+}
+
+func (p pwmTrace) Level(t units.Seconds) float64 {
+	if p.phase(t) < p.duty {
+		return 1
+	}
+	return 0
+}
+
+// NextChange implements Stepped: the output is constant until the next
+// PWM edge.
+func (p pwmTrace) NextChange(t units.Seconds) units.Seconds {
+	ph := p.phase(t)
+	var frac float64
+	if ph < p.duty {
+		frac = p.duty - ph
+	} else {
+		frac = 1 - ph
+	}
+	h := units.Seconds(frac * float64(p.period))
+	// Float modulo can land exactly on an edge; never report a
+	// non-positive horizon for an output that is constant on some
+	// open interval.
+	if h <= 0 {
+		h = units.Seconds(math.Min(float64(p.period), 1e-9))
+	}
+	return h
 }
 
 // PWMTrace models the paper's PWM-dimmed halogen bulb: the long-term
@@ -46,13 +136,36 @@ func PWMTrace(duty float64, period units.Seconds) Trace {
 	if period <= 0 {
 		return ConstantTrace(duty)
 	}
-	return func(t units.Seconds) float64 {
-		phase := math.Mod(float64(t), float64(period)) / float64(period)
-		if phase < duty {
-			return 1
-		}
+	return pwmTrace{duty: duty, period: period}
+}
+
+type diurnalTrace struct {
+	period units.Seconds
+}
+
+func (d diurnalTrace) Level(t units.Seconds) float64 {
+	s := math.Sin(2 * math.Pi * float64(t) / float64(d.period))
+	if s < 0 {
 		return 0
 	}
+	return s
+}
+
+// NextChange implements Stepped. During the night half the output is
+// constant zero until the next dawn; during the day the sinusoid
+// varies continuously, so the horizon is unknown (0).
+func (d diurnalTrace) NextChange(t units.Seconds) units.Seconds {
+	ph := math.Mod(float64(t), float64(d.period))
+	if ph < 0 {
+		ph += float64(d.period)
+	}
+	if ph >= float64(d.period)/2 {
+		h := units.Seconds(float64(d.period) - ph)
+		if h > 0 {
+			return h
+		}
+	}
+	return 0
 }
 
 // DiurnalTrace models a day/night cycle: intensity follows the positive
@@ -62,32 +175,76 @@ func DiurnalTrace(period units.Seconds) Trace {
 	if period <= 0 {
 		return ConstantTrace(0)
 	}
-	return func(t units.Seconds) float64 {
-		s := math.Sin(2 * math.Pi * float64(t) / float64(period))
-		if s < 0 {
+	return diurnalTrace{period: period}
+}
+
+type blackoutTrace struct {
+	base    Trace
+	windows [][2]units.Seconds
+}
+
+func (b blackoutTrace) Level(t units.Seconds) float64 {
+	for _, w := range b.windows {
+		if t >= w[0] && t < w[0]+w[1] {
 			return 0
 		}
-		return s
 	}
+	return b.base.Level(t)
+}
+
+// NextChange implements Stepped: inside a blackout window the output
+// is zero until the window ends; outside, the base horizon is clamped
+// at the next window start.
+func (b blackoutTrace) NextChange(t units.Seconds) units.Seconds {
+	for _, w := range b.windows {
+		if t >= w[0] && t < w[0]+w[1] {
+			return w[0] + w[1] - t
+		}
+	}
+	h := NextChange(b.base, t)
+	if h <= 0 {
+		return 0
+	}
+	for _, w := range b.windows {
+		if w[0] > t && w[0]-t < h {
+			h = w[0] - t
+		}
+	}
+	return h
 }
 
 // BlackoutTrace wraps base, forcing intensity to zero inside each
 // [start, start+dur) window. Used for adversarial input-power timing
 // experiments (the NO-switch retry hazard, paper §5.2).
 func BlackoutTrace(base Trace, windows ...[2]units.Seconds) Trace {
-	return func(t units.Seconds) float64 {
-		for _, w := range windows {
-			if t >= w[0] && t < w[0]+w[1] {
-				return 0
-			}
-		}
-		return base(t)
+	return blackoutTrace{base: base, windows: windows}
+}
+
+type scaleTrace struct {
+	a, b Trace
+}
+
+func (s scaleTrace) Level(t units.Seconds) float64 {
+	return s.a.Level(t) * s.b.Level(t)
+}
+
+// NextChange implements Stepped: the product is constant while both
+// factors are.
+func (s scaleTrace) NextChange(t units.Seconds) units.Seconds {
+	ha := NextChange(s.a, t)
+	hb := NextChange(s.b, t)
+	if ha <= 0 || hb <= 0 {
+		return 0
 	}
+	if hb < ha {
+		return hb
+	}
+	return ha
 }
 
 // ScaleTrace multiplies two traces pointwise.
 func ScaleTrace(a, b Trace) Trace {
-	return func(t units.Seconds) float64 { return a(t) * b(t) }
+	return scaleTrace{a: a, b: b}
 }
 
 func clamp01(x float64) float64 {
@@ -113,6 +270,9 @@ func (s RegulatedSupply) PowerAt(units.Seconds) units.Power { return s.Max }
 
 // VoltageAt implements Source.
 func (s RegulatedSupply) VoltageAt(units.Seconds) units.Voltage { return s.V }
+
+// NextChange implements Stepped: a regulated supply never changes.
+func (s RegulatedSupply) NextChange(units.Seconds) units.Seconds { return Forever }
 
 func (s RegulatedSupply) String() string {
 	return fmt.Sprintf("regulated supply (%v @ %v)", s.Max, s.V)
@@ -153,7 +313,7 @@ func (p SolarPanel) level(t units.Seconds) float64 {
 	if p.Light == nil {
 		return 1
 	}
-	return clamp01(p.Light(t))
+	return clamp01(p.Light.Level(t))
 }
 
 // PowerAt implements Source: total power scales with panel count and
@@ -170,6 +330,15 @@ func (p SolarPanel) PowerAt(t units.Seconds) units.Power {
 func (p SolarPanel) VoltageAt(t units.Seconds) units.Voltage {
 	series, _ := p.dims()
 	return units.Voltage(float64(p.OpenCircuitVoltage) * float64(series) * math.Sqrt(p.level(t)))
+}
+
+// NextChange implements Stepped: the panel output is constant exactly
+// as long as its light trace is.
+func (p SolarPanel) NextChange(t units.Seconds) units.Seconds {
+	if p.Light == nil {
+		return Forever
+	}
+	return NextChange(p.Light, t)
 }
 
 func (p SolarPanel) String() string {
@@ -207,6 +376,9 @@ func (r RFHarvester) PowerAt(units.Seconds) units.Power {
 // VoltageAt implements Source.
 func (r RFHarvester) VoltageAt(units.Seconds) units.Voltage { return r.V }
 
+// NextChange implements Stepped: a fixed-range RF field is constant.
+func (r RFHarvester) NextChange(units.Seconds) units.Seconds { return Forever }
+
 // Limiter is the input voltage limiter from the paper's power
 // distribution circuit: it allows the harvester voltage to rise above
 // component ratings (solar panels in series for dim light) by clamping
@@ -235,6 +407,13 @@ func (l Limiter) VoltageAt(t units.Seconds) units.Voltage {
 		return l.Max
 	}
 	return v
+}
+
+// NextChange implements Stepped by delegating to the wrapped source:
+// the clamp is memoryless, so the limited output changes exactly when
+// the underlying source does.
+func (l Limiter) NextChange(t units.Seconds) units.Seconds {
+	return NextChange(l.Source, t)
 }
 
 // AveragePower integrates a source's power over [0, horizon] with the

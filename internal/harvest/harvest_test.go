@@ -21,10 +21,10 @@ func TestRegulatedSupply(t *testing.T) {
 }
 
 func TestConstantTraceClamps(t *testing.T) {
-	if got := ConstantTrace(2.0)(5); got != 1 {
+	if got := ConstantTrace(2.0).Level(5); got != 1 {
 		t.Errorf("over-range trace = %g", got)
 	}
-	if got := ConstantTrace(-1)(5); got != 0 {
+	if got := ConstantTrace(-1).Level(5); got != 0 {
 		t.Errorf("negative trace = %g", got)
 	}
 }
@@ -32,50 +32,50 @@ func TestConstantTraceClamps(t *testing.T) {
 func TestPWMTrace(t *testing.T) {
 	tr := PWMTrace(0.42, 1.0)
 	// Inside the on-phase.
-	if got := tr(0.1); got != 1 {
+	if got := tr.Level(0.1); got != 1 {
 		t.Errorf("PWM on-phase = %g", got)
 	}
 	// Inside the off-phase.
-	if got := tr(0.9); got != 0 {
+	if got := tr.Level(0.9); got != 0 {
 		t.Errorf("PWM off-phase = %g", got)
 	}
 	// Long-term average equals the duty cycle.
 	var sum float64
 	const n = 100000
 	for i := 0; i < n; i++ {
-		sum += tr(units.Seconds(float64(i) * 0.001))
+		sum += tr.Level(units.Seconds(float64(i) * 0.001))
 	}
 	if avg := sum / n; math.Abs(avg-0.42) > 0.01 {
 		t.Errorf("PWM average = %g, want 0.42", avg)
 	}
 	// Degenerate period falls back to a constant.
-	if got := PWMTrace(0.42, 0)(123); got != 0.42 {
+	if got := PWMTrace(0.42, 0).Level(123); got != 0.42 {
 		t.Errorf("degenerate PWM = %g", got)
 	}
 }
 
 func TestDiurnalTrace(t *testing.T) {
 	tr := DiurnalTrace(units.Hour)
-	if got := tr(units.Hour / 4); math.Abs(got-1) > 1e-9 {
+	if got := tr.Level(units.Hour / 4); math.Abs(got-1) > 1e-9 {
 		t.Errorf("noon = %g, want 1", got)
 	}
-	if got := tr(3 * units.Hour / 4); got != 0 {
+	if got := tr.Level(3 * units.Hour / 4); got != 0 {
 		t.Errorf("night = %g, want 0", got)
 	}
-	if got := DiurnalTrace(0)(1); got != 0 {
+	if got := DiurnalTrace(0).Level(1); got != 0 {
 		t.Errorf("degenerate diurnal = %g", got)
 	}
 }
 
 func TestBlackoutTrace(t *testing.T) {
 	tr := BlackoutTrace(ConstantTrace(1), [2]units.Seconds{10, 5})
-	if got := tr(9.9); got != 1 {
+	if got := tr.Level(9.9); got != 1 {
 		t.Errorf("before blackout = %g", got)
 	}
-	if got := tr(12); got != 0 {
+	if got := tr.Level(12); got != 0 {
 		t.Errorf("during blackout = %g", got)
 	}
-	if got := tr(15); got != 1 {
+	if got := tr.Level(15); got != 1 {
 		t.Errorf("after blackout = %g (window end is exclusive)", got)
 	}
 }
@@ -192,7 +192,7 @@ func TestSourceStringers(t *testing.T) {
 
 func TestScaleTrace(t *testing.T) {
 	tr := ScaleTrace(ConstantTrace(0.5), ConstantTrace(0.5))
-	if got := tr(0); got != 0.25 {
+	if got := tr.Level(0); got != 0.25 {
 		t.Fatalf("ScaleTrace = %g, want 0.25", got)
 	}
 }

@@ -58,7 +58,16 @@ func (p PVPanel) level(t units.Seconds) float64 {
 	if p.Light == nil {
 		return 1
 	}
-	return clamp01(p.Light(t))
+	return clamp01(p.Light.Level(t))
+}
+
+// NextChange implements Stepped: the MPP output is constant exactly as
+// long as the light trace is.
+func (p PVPanel) NextChange(t units.Seconds) units.Seconds {
+	if p.Light == nil {
+		return Forever
+	}
+	return NextChange(p.Light, t)
 }
 
 // darkCurrent returns I0 from the full-sun operating point:

@@ -148,34 +148,54 @@ func (s *System) bypassCeiling(t units.Seconds) units.Voltage {
 	return ceil
 }
 
-// maxChargeStep bounds analytic charge integration so that time-varying
-// sources are re-sampled often enough.
+// maxChargeStep bounds charge integration for opaque sources (no
+// harvest.Stepped horizon) so that time-varying output is re-sampled
+// often enough. Stepped sources are integrated in whole closed-form
+// segments instead.
 const maxChargeStep units.Seconds = 0.5
 
-// AdvanceCharge charges the store for dt starting at time t0, advancing
-// through the bypass / cold-start / normal phases. It returns the
-// voltage reached. Charging stops at ceiling (typically the bank's
-// rated voltage or the configured Vtop); pass 0 for no ceiling.
-func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Voltage) units.Voltage {
-	t := t0
-	end := t0 + dt
-	for t < end {
+// segmentHorizon returns the span starting at t over which the source
+// output is known constant, clamped to remain. Opaque sources fall
+// back to the fixed re-sampling step, preserving the pre-event-solver
+// behaviour.
+func (s *System) segmentHorizon(t, remain units.Seconds) units.Seconds {
+	h := harvest.NextChange(s.Source, t)
+	if h <= 0 {
+		h = maxChargeStep
+	}
+	if h > remain {
+		h = remain
+	}
+	return h
+}
+
+// chargeSegment charges the store for at most dt starting at time t,
+// under the contract that the source output is constant on [t, t+dt).
+// It advances analytically through the bypass / cold-start / started
+// phases (the charge power is constant within each phase, so each
+// phase is one closed-form solve) and stops early when the store
+// reaches target (0 means no target). It returns the time actually
+// consumed (dt unless the target was hit) and whether the target was
+// reached. The target voltage is snapped exactly so callers can
+// compare against it without float-asymptote drift.
+func (s *System) chargeSegment(st Store, target units.Voltage, t, dt units.Seconds) (units.Seconds, bool) {
+	elapsed := units.Seconds(0)
+	for elapsed < dt {
 		v := st.Voltage()
-		if ceiling > 0 && v >= ceiling {
-			return v
-		}
-		step := end - t
-		if step > maxChargeStep {
-			step = maxChargeStep
+		if target > 0 && v >= target {
+			st.SetVoltage(target)
+			return elapsed, true
 		}
 		p := s.ChargePower(v, t)
 		if p <= 0 {
-			t += step
-			continue
+			// Dead air: the source is constant for the whole segment, so
+			// no charging can happen anywhere in it.
+			return dt, false
 		}
-		// Stop the analytic step at the next phase boundary so the
-		// charge power is constant within it.
-		limit := ceiling
+		remain := dt - elapsed
+		// Stop the analytic solve at the next charge-path boundary so
+		// the charge power is constant within it.
+		limit := target
 		if v < s.In.ColdStart {
 			b := s.In.ColdStart
 			if s.Bypass.Enabled {
@@ -188,17 +208,39 @@ func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Vol
 			}
 		}
 		if limit > 0 {
-			tb := units.TimeToCharge(st.Capacitance(), v, limit, p)
-			if tb <= step {
-				// Snap exactly onto the boundary voltage so callers can
-				// compare against it without float-asymptote drift.
+			need := units.TimeToCharge(st.Capacitance(), v, limit, p)
+			if need <= remain {
 				st.SetVoltage(limit)
-				t += tb
+				elapsed += need
+				if target > 0 && limit >= target {
+					return elapsed, true
+				}
 				continue
 			}
 		}
-		st.SetVoltage(units.ChargeVoltageAfter(st.Capacitance(), v, p, step))
-		t += step
+		st.SetVoltage(units.ChargeVoltageAfter(st.Capacitance(), v, p, remain))
+		elapsed = dt
+	}
+	return dt, false
+}
+
+// AdvanceCharge charges the store for dt starting at time t0, advancing
+// through the bypass / cold-start / normal phases. It returns the
+// voltage reached. Charging stops at ceiling (typically the bank's
+// rated voltage or the configured Vtop); pass 0 for no ceiling.
+func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Voltage) units.Voltage {
+	t := t0
+	end := t0 + dt
+	for t < end {
+		if ceiling > 0 && st.Voltage() >= ceiling {
+			return st.Voltage()
+		}
+		h := s.segmentHorizon(t, end-t)
+		used, reached := s.chargeSegment(st, ceiling, t, h)
+		t += used
+		if reached {
+			return st.Voltage()
+		}
 	}
 	if ceiling > 0 && st.Voltage() > ceiling {
 		st.SetVoltage(ceiling)
@@ -210,47 +252,23 @@ func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Vol
 // the store up to target, bounded by maxWait. If the target is not
 // reached within maxWait, it returns maxWait and false. The store's
 // voltage is left at the reached value.
+//
+// The solve is event-driven: each iteration jumps one whole segment —
+// min(source-change horizon, path boundary, target hit, maxWait) —
+// using the closed-form constant-power solution, so a constant source
+// charging a large bank costs O(path boundaries) instead of
+// O(charge time / step).
 func (s *System) TimeToChargeTo(st Store, target units.Voltage, t0, maxWait units.Seconds) (units.Seconds, bool) {
 	if st.Voltage() >= target {
 		return 0, true
 	}
 	elapsed := units.Seconds(0)
 	for elapsed < maxWait {
-		v := st.Voltage()
-		p := s.ChargePower(v, t0+elapsed)
-		if p <= 0 {
-			// Dead air: skip forward one step.
-			elapsed += maxChargeStep
-			continue
-		}
-		// Integrate within the current phase.
-		limit := target
-		if v < s.In.ColdStart {
-			b := s.In.ColdStart
-			if s.Bypass.Enabled {
-				if c := s.bypassCeiling(t0 + elapsed); c > v && c < b {
-					b = c
-				}
-			}
-			if b < limit {
-				limit = b
-			}
-		}
-		need := units.TimeToCharge(st.Capacitance(), v, limit, p)
-		step := need
-		if step > maxChargeStep {
-			step = maxChargeStep
-		}
-		if step <= 0 {
-			step = 1e-6
-		}
-		if elapsed+step > maxWait {
-			step = maxWait - elapsed
-		}
-		st.SetVoltage(units.ChargeVoltageAfter(st.Capacitance(), v, p, step))
-		elapsed += step
-		if st.Voltage() >= target-1e-12 {
-			st.SetVoltage(target)
+		t := t0 + elapsed
+		h := s.segmentHorizon(t, maxWait-elapsed)
+		used, reached := s.chargeSegment(st, target, t, h)
+		elapsed += used
+		if reached {
 			return elapsed, true
 		}
 	}

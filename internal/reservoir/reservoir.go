@@ -137,6 +137,25 @@ func (s *Switch) Retention() units.Seconds {
 	return units.TimeToLeakTo(s.LatchCap, s.FullVoltage, s.HoldVoltage, s.LatchLeak)
 }
 
+// Expiry returns how long the latch holds its programmed state from its
+// present charge while unpowered: the time for the latch voltage to
+// decay below HoldVoltage. An already-reverted (or never-programmed)
+// latch returns +Inf — there is nothing left to expire. The returned
+// span is padded by a tiny relative epsilon so that ticking exactly
+// Expiry() is guaranteed to cross the hold threshold (TickUnpowered
+// reverts on a strict '<' comparison; leaking exactly onto HoldVoltage
+// would otherwise hold state forever).
+func (s *Switch) Expiry() units.Seconds {
+	if s.latchV <= 0 {
+		return units.Seconds(math.Inf(1))
+	}
+	t := units.TimeToLeakTo(s.LatchCap, s.latchV, s.HoldVoltage, s.LatchLeak)
+	if math.IsInf(float64(t), 1) {
+		return t
+	}
+	return t + t*1e-9 + 1e-9
+}
+
 // Characterization constants from the paper (§6.5, §5.2).
 const (
 	// SwitchArea is the board area of one reconfiguration switch
@@ -175,6 +194,25 @@ type Array struct {
 	Reconfigurations int
 	// Reverts counts implicit reconfigurations caused by latch expiry.
 	Reverts int
+
+	// all and active cache the bank slices; the composition is fixed at
+	// construction, and the active set changes only under Configure and
+	// latch-expiry reverts (both of which refresh the cache). Without
+	// the caches every passive tick and every power.Store call on the
+	// ActiveSet allocated a fresh slice — the dominant allocation in
+	// matrix sweeps.
+	all    []*storage.Bank
+	active []*storage.Bank
+	// aset is the single reusable power.Store adapter; ActiveSet used to
+	// allocate one per call, and the simulator calls it on every drain.
+	aset ActiveSet
+	// actCap/actESR/actRated are the parallel-combination electricals
+	// of the connected banks, recomputed only when the configuration
+	// changes: bank parameters are static, so between switch events
+	// these are constants the drain path reads on every call.
+	actCap   units.Capacitance
+	actESR   units.Resistance
+	actRated units.Voltage
 }
 
 // NewArray builds an array from a base bank and switched banks. Every
@@ -184,8 +222,35 @@ func NewArray(base *storage.Bank, kind SwitchKind, switched ...*storage.Bank) *A
 	for range switched {
 		a.switches = append(a.switches, DefaultSwitch(kind))
 	}
+	a.all = append([]*storage.Bank{base}, switched...)
+	a.aset = ActiveSet{a: a}
+	a.refreshActive()
 	a.settle()
 	return a
+}
+
+// refreshActive rebuilds the connected-bank cache from the switch
+// states. It must be called after any switch state change.
+func (a *Array) refreshActive() {
+	a.active = a.active[:0]
+	a.active = append(a.active, a.base)
+	for i, s := range a.switches {
+		if s.Closed() {
+			a.active = append(a.active, a.banks[i])
+		}
+	}
+	a.actCap = storage.CombinedCapacitance(a.active)
+	a.actESR = storage.CombinedESR(a.active)
+	rated := units.Voltage(math.Inf(1))
+	for _, b := range a.active {
+		if r := b.RatedVoltage(); r > 0 && r < rated {
+			rated = r
+		}
+	}
+	if math.IsInf(float64(rated), 1) {
+		rated = 0
+	}
+	a.actRated = rated
 }
 
 // NumBanks returns the number of banks including the base bank.
@@ -233,6 +298,7 @@ func (a *Array) Configure(mask uint64) error {
 			s.Replenish()
 		}
 	}
+	a.refreshActive()
 	a.settle()
 	return nil
 }
@@ -261,15 +327,7 @@ func (a *Array) settle() {
 	}
 }
 
-func (a *Array) activeBanks() []*storage.Bank {
-	active := []*storage.Bank{a.base}
-	for i, s := range a.switches {
-		if s.Closed() {
-			active = append(active, a.banks[i])
-		}
-	}
-	return active
-}
+func (a *Array) activeBanks() []*storage.Bank { return a.active }
 
 // TickPowered advances dt of powered time: bank self-discharge
 // continues and the replenishment circuit keeps the latches full.
@@ -298,14 +356,32 @@ func (a *Array) TickUnpowered(dt units.Seconds) {
 		}
 	}
 	if reverted {
+		a.refreshActive()
 		a.settle()
 	}
 }
 
-func (a *Array) allBanks() []*storage.Bank {
-	all := []*storage.Bank{a.base}
-	return append(all, a.banks...)
+// NextRevert returns how long until the earliest latch expiry reverts a
+// switch away from its programmed state, assuming the device stays
+// unpowered. It is +Inf when no programmed switch differs from its
+// default (reverting to the default is a no-op for those) or all
+// latches are already drained. The event-driven charge solver uses this
+// as the "latch expiry" segment boundary: within the returned span,
+// unpowered time changes no switch state.
+func (a *Array) NextRevert() units.Seconds {
+	next := units.Seconds(math.Inf(1))
+	for _, s := range a.switches {
+		if s.Closed() == (s.Kind == NormallyClosed) {
+			continue // already in the default state: expiry changes nothing
+		}
+		if e := s.Expiry(); e < next {
+			next = e
+		}
+	}
+	return next
 }
+
+func (a *Array) allBanks() []*storage.Bank { return a.all }
 
 // States reports each bank's condition for tracing.
 func (a *Array) States() []BankState {
@@ -335,7 +411,7 @@ func (a *Array) String() string {
 }
 
 // ActiveSet returns the power.Store view of the connected banks.
-func (a *Array) ActiveSet() *ActiveSet { return &ActiveSet{a: a} }
+func (a *Array) ActiveSet() *ActiveSet { return &a.aset }
 
 // ActiveSet adapts the connected banks to the power.Store interface.
 // All connected banks share one terminal voltage (maintained by
@@ -344,9 +420,7 @@ func (a *Array) ActiveSet() *ActiveSet { return &ActiveSet{a: a} }
 type ActiveSet struct{ a *Array }
 
 // Capacitance implements power.Store.
-func (s *ActiveSet) Capacitance() units.Capacitance {
-	return storage.CombinedCapacitance(s.a.activeBanks())
-}
+func (s *ActiveSet) Capacitance() units.Capacitance { return s.a.actCap }
 
 // Voltage implements power.Store. The connected banks are always
 // settled to a common voltage.
@@ -360,23 +434,10 @@ func (s *ActiveSet) SetVoltage(v units.Voltage) {
 }
 
 // ESR implements power.Store.
-func (s *ActiveSet) ESR() units.Resistance {
-	return storage.CombinedESR(s.a.activeBanks())
-}
+func (s *ActiveSet) ESR() units.Resistance { return s.a.actESR }
 
 // RatedVoltage returns the lowest rated voltage among connected banks.
-func (s *ActiveSet) RatedVoltage() units.Voltage {
-	v := units.Voltage(math.Inf(1))
-	for _, b := range s.a.activeBanks() {
-		if r := b.RatedVoltage(); r > 0 && r < v {
-			v = r
-		}
-	}
-	if math.IsInf(float64(v), 1) {
-		return 0
-	}
-	return v
-}
+func (s *ActiveSet) RatedVoltage() units.Voltage { return s.a.actRated }
 
 // Energy returns the energy stored across connected banks.
 func (s *ActiveSet) Energy() units.Energy {

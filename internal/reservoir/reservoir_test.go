@@ -334,3 +334,60 @@ func TestArraySwitchAccessor(t *testing.T) {
 		t.Fatal("switch state not visible through accessor")
 	}
 }
+
+func TestSwitchExpiry(t *testing.T) {
+	s := DefaultSwitch(NormallyOpen)
+	if e := s.Expiry(); !math.IsInf(float64(e), 1) {
+		t.Fatalf("empty latch Expiry = %v, want +Inf", e)
+	}
+	s.Set(true)
+	e := s.Expiry()
+	if !almostEqual(float64(e), float64(s.Retention()), 1e-6) {
+		t.Fatalf("full-latch Expiry = %v, want ≈ Retention %v", e, s.Retention())
+	}
+	// Ticking exactly Expiry must cross the hold threshold and revert:
+	// the epsilon pad guards the strict '<' comparison in TickUnpowered.
+	if !s.TickUnpowered(e) {
+		t.Fatalf("TickUnpowered(Expiry()) did not revert (latchV=%v)", s.latchV)
+	}
+	if s.Closed() {
+		t.Fatal("NO switch still closed after latch expiry")
+	}
+	// Partially decayed latches expire sooner than full ones.
+	s.Set(true)
+	s.TickUnpowered(60)
+	if got := s.Expiry(); got >= s.Retention() {
+		t.Fatalf("decayed-latch Expiry = %v, want < Retention %v", got, s.Retention())
+	}
+}
+
+func TestArrayNextRevert(t *testing.T) {
+	a := newTestArray(NormallyOpen)
+	// Default configuration: no switch differs from its default state.
+	if nr := a.NextRevert(); !math.IsInf(float64(nr), 1) {
+		t.Fatalf("default-config NextRevert = %v, want +Inf", nr)
+	}
+	if err := a.Configure(0b111); err != nil {
+		t.Fatal(err)
+	}
+	nr := a.NextRevert()
+	if !almostEqual(float64(nr), float64(a.Switch(1).Retention()), 1e-6) {
+		t.Fatalf("NextRevert = %v, want ≈ Retention %v", nr, a.Switch(1).Retention())
+	}
+	// Inside the horizon nothing reverts; ticking to the horizon does.
+	a.TickUnpowered(nr / 2)
+	if a.Reverts != 0 {
+		t.Fatalf("revert before NextRevert horizon: %d", a.Reverts)
+	}
+	a.TickUnpowered(a.NextRevert())
+	if a.Reverts != 2 {
+		t.Fatalf("Reverts after ticking past horizon = %d, want 2", a.Reverts)
+	}
+	if a.ActiveMask() != 0b001 {
+		t.Fatalf("mask after revert = %#b, want 0b001", a.ActiveMask())
+	}
+	// Fully reverted: nothing left to expire.
+	if nr := a.NextRevert(); !math.IsInf(float64(nr), 1) {
+		t.Fatalf("post-revert NextRevert = %v, want +Inf", nr)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"capybara/internal/units"
+)
+
+// The recording paths run on every drain and every charge segment of
+// every simulated device, so their per-call allocation behaviour is
+// part of the simulator's performance envelope: an unbounded trace
+// must amortize to ~0 allocs/op, a bounded one to exactly 0 after the
+// initial block.
+
+func BenchmarkTraceRecord(b *testing.B) {
+	tr := &Trace{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.record(units.Seconds(i), 2.0, PhaseCharging)
+	}
+}
+
+func BenchmarkTraceRecordBounded(b *testing.B) {
+	tr := &Trace{Max: 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.record(units.Seconds(i), 2.0, PhaseCharging)
+	}
+}
+
+func BenchmarkEventLogAdd(b *testing.B) {
+	l := &EventLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.add(units.Seconds(i), EventBoot, "")
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	tr := &Trace{Max: 64}
+	for i := 0; i < 10_000; i++ {
+		tr.record(units.Seconds(i), 2.0, PhaseCharging)
+	}
+	if len(tr.Samples) > 64 {
+		t.Fatalf("bounded trace holds %d samples, max 64", len(tr.Samples))
+	}
+	if len(tr.Samples) < 2 {
+		t.Fatalf("bounded trace kept only %d samples", len(tr.Samples))
+	}
+	// Thinning must preserve order and span: first sample stays, and
+	// the trace tracks the run's end to within the (doubled) density
+	// floor.
+	if tr.Samples[0].T != 0 {
+		t.Errorf("first sample T = %v, want 0", tr.Samples[0].T)
+	}
+	if got := tr.Samples[len(tr.Samples)-1].T; got < 9999-tr.MinInterval {
+		t.Errorf("last sample T = %v, want within MinInterval (%v) of 9999",
+			got, tr.MinInterval)
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T <= tr.Samples[i-1].T {
+			t.Fatalf("samples out of order at %d: %v after %v",
+				i, tr.Samples[i].T, tr.Samples[i-1].T)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"capybara/internal/device"
+	"capybara/internal/harvest"
 	"capybara/internal/power"
 	"capybara/internal/reservoir"
 	"capybara/internal/units"
@@ -54,8 +55,17 @@ type Trace struct {
 	// MinInterval is the minimum spacing between recorded samples;
 	// zero records every transition.
 	MinInterval units.Seconds
-	Samples     []Sample
+	// Max bounds the number of retained samples; zero means unbounded.
+	// A full trace thins itself: every other sample is dropped and
+	// MinInterval doubles, so arbitrarily long runs keep a
+	// shape-preserving trajectory in fixed memory.
+	Max     int
+	Samples []Sample
 }
+
+// traceInitialCap sizes the first allocation: one growth step instead
+// of the ~10 progressive doublings a long run otherwise pays.
+const traceInitialCap = 1024
 
 func (tr *Trace) record(t units.Seconds, v units.Voltage, phase Phase) {
 	if tr == nil {
@@ -66,8 +76,33 @@ func (tr *Trace) record(t units.Seconds, v units.Voltage, phase Phase) {
 		if t-last.T < tr.MinInterval && last.Phase == phase {
 			return
 		}
+	} else if tr.Samples == nil {
+		capacity := traceInitialCap
+		if tr.Max > 0 {
+			capacity = tr.Max
+		}
+		tr.Samples = make([]Sample, 0, capacity)
+	}
+	if tr.Max > 0 && len(tr.Samples) >= tr.Max {
+		tr.thin()
 	}
 	tr.Samples = append(tr.Samples, Sample{T: t, V: v, Phase: phase})
+}
+
+// thin halves the retained samples in place (keeping every other one)
+// and doubles the density floor so the trace converges instead of
+// thrashing at the bound.
+func (tr *Trace) thin() {
+	n := len(tr.Samples)
+	for i := 1; 2*i < n; i++ {
+		tr.Samples[i] = tr.Samples[2*i]
+	}
+	tr.Samples = tr.Samples[:(n+1)/2]
+	if tr.MinInterval > 0 {
+		tr.MinInterval *= 2
+	} else if m := len(tr.Samples); m > 1 {
+		tr.MinInterval = (tr.Samples[m-1].T - tr.Samples[0].T) / units.Seconds(m-1)
+	}
 }
 
 // Stats aggregates device-lifetime counters.
@@ -122,7 +157,9 @@ func (d *Device) Configure(mask uint64) error {
 	if err := d.Array.Configure(mask); err != nil {
 		return err
 	}
-	d.Log.add(d.now, EventReconfig, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+	if d.Log != nil {
+		d.Log.add(d.now, EventReconfig, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+	}
 	// Programming the latch through the GPIO interface: ~1 ms active.
 	if !d.Continuous {
 		d.Drain(d.MCU.ActivePower, 1*units.Millisecond)
@@ -133,14 +170,21 @@ func (d *Device) Configure(mask uint64) error {
 // tick advances the array's passive state for dt. The latch
 // replenishment circuit works whenever input power is present, even
 // with the processor off (§5.2).
-func (d *Device) tick(dt units.Seconds) {
-	if d.Sys.Source.PowerAt(d.now) > 0 {
+func (d *Device) tick(dt units.Seconds) { d.tickSpan(d.now, dt) }
+
+// tickSpan advances the array's passive state for the span of length
+// dt that started at t0, deciding powered-ness from the span start:
+// event-driven segments are aligned to source changes, so the output
+// at t0 is the output for the whole span (sampling at the segment end
+// would misread the instant the *next* segment begins).
+func (d *Device) tickSpan(t0, dt units.Seconds) {
+	if d.Sys.Source.PowerAt(t0) > 0 {
 		d.Array.TickPowered(dt)
 		return
 	}
 	before := d.Array.Reverts
 	d.Array.TickUnpowered(dt)
-	if d.Array.Reverts > before {
+	if d.Log != nil && d.Array.Reverts > before {
 		d.Log.add(d.now, EventRevert, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
 	}
 }
@@ -175,14 +219,54 @@ func (d *Device) Drain(loadPower units.Power, dt units.Seconds) (units.Seconds, 
 }
 
 // chargeStep bounds how long the charge loop advances between
-// re-evaluations of the source and the latch state.
+// re-evaluations of an *opaque* source (one with no harvest.Stepped
+// horizon) and, for traced runs, how sparse the recorded voltage
+// trajectory may get. Stepped sources advance in whole analytic
+// segments instead.
 const chargeStep units.Seconds = 1.0
+
+// chargeHorizon returns the next event-driven segment length starting
+// at d.now, at most remain: the span over which the source output is
+// constant (opaque sources fall back to the legacy fixed step),
+// additionally split at the next latch expiry during true outages (so
+// reverts land at the right instant) and, when a voltage trace is
+// being recorded, capped so the trajectory stays plottable.
+func (d *Device) chargeHorizon(remain units.Seconds) units.Seconds {
+	step := remain
+	if h := harvest.NextChange(d.Sys.Source, d.now); h <= 0 {
+		step = min(step, chargeStep)
+	} else if h < step {
+		step = h
+	}
+	if d.Sys.Source.PowerAt(d.now) <= 0 {
+		// A true outage: latch capacitors are decaying, and the first
+		// expiry reconfigures the array mid-charge (§5.2).
+		if nr := d.Array.NextRevert(); nr < step {
+			step = nr
+		}
+	}
+	if d.Trace != nil {
+		density := chargeStep
+		if d.Trace.MinInterval > density {
+			density = d.Trace.MinInterval
+		}
+		if density < step {
+			step = density
+		}
+	}
+	return step
+}
 
 // ChargeTo accumulates energy with the processor off until the active
 // set reaches target volts, or until maxWait elapses. It returns the
 // time spent and whether the target was reached. Latch capacitors decay
 // during true outages (no input power) and may revert switches
 // mid-charge — exactly the §5.2 hazard.
+//
+// The loop is event-driven: each iteration advances one analytic
+// segment bounded by the next source change, latch expiry, maxWait, or
+// the target being hit (see chargeHorizon), so charging a large bank
+// from a constant source costs O(1) instead of O(seconds).
 func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Seconds, bool) {
 	if d.Continuous {
 		return 0, true
@@ -198,18 +282,18 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 		if elapsed >= maxWait {
 			return elapsed, false
 		}
-		step := chargeStep
-		if elapsed+step > maxWait {
-			step = maxWait - elapsed
-		}
-		charging := d.Sys.ChargePower(set.Voltage(), d.now) > 0
+		step := d.chargeHorizon(maxWait - elapsed)
+		// Within one segment the source output is constant, so whether
+		// charge power flows is decided once, at the segment start —
+		// the whole span is attributed to the matching counter. (The
+		// old fixed-step loop reused a stale flag when the source cut
+		// out mid-charge, counting dead air as TimeCharging.)
+		start := d.now
+		charging := d.Sys.ChargePower(set.Voltage(), start) > 0
 		before := set.Energy()
-		used, reached := d.Sys.TimeToChargeTo(set, target, d.now, step)
+		used, reached := d.Sys.TimeToChargeTo(set, target, start, step)
 		if gained := set.Energy() - before; gained > 0 {
 			d.Stats.EnergyIntoStore += gained
-		}
-		if used <= 0 {
-			used = step
 		}
 		d.now += used
 		elapsed += used
@@ -222,10 +306,12 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 		// Success is decided before the passive tick: the voltage
 		// supervisor boots the device the instant the threshold is hit;
 		// the leakage within the same step is immaterial.
-		d.tick(used)
+		d.tickSpan(start, used)
 		if reached {
 			d.Trace.record(d.now, set.Voltage(), PhaseCharging)
-			d.Log.add(d.now, EventChargeDone, fmt.Sprintf("%v after %v", set.Voltage(), elapsed))
+			if d.Log != nil {
+				d.Log.add(d.now, EventChargeDone, fmt.Sprintf("%v after %v", set.Voltage(), elapsed))
+			}
 			return elapsed, true
 		}
 	}
@@ -250,13 +336,26 @@ func (d *Device) Sleep(dt units.Seconds) (units.Seconds, bool) {
 
 // AdvanceOff lets dt pass with the device off and not charging
 // (used when waiting for external conditions with a full buffer).
+// Like ChargeTo it advances in event-driven segments: spans are split
+// at source changes (so powered/unpowered spans tick the right array
+// path) and at latch expiries (so reverts land at the right instant).
 func (d *Device) AdvanceOff(dt units.Seconds) {
-	if dt <= 0 {
-		return
+	for dt > 0 {
+		step := dt
+		if h := harvest.NextChange(d.Sys.Source, d.now); h > 0 && h < step {
+			step = h
+		}
+		if d.Sys.Source.PowerAt(d.now) <= 0 {
+			if nr := d.Array.NextRevert(); nr < step {
+				step = nr
+			}
+		}
+		start := d.now
+		d.now += step
+		d.Stats.TimeOff += step
+		d.tickSpan(start, step)
+		dt -= step
 	}
-	d.now += dt
-	d.Stats.TimeOff += dt
-	d.tick(dt)
 }
 
 func (d *Device) String() string {

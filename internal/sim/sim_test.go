@@ -123,6 +123,41 @@ func TestChargeToTimesOut(t *testing.T) {
 	}
 }
 
+func TestChargeAccountingSourceCutsOut(t *testing.T) {
+	// Regression: the fixed-step loop decided "charging vs off" from a
+	// stale flag carried across iterations, so when the source died
+	// mid-charge the dead air kept counting as TimeCharging. The
+	// event-driven loop attributes each segment from its own start.
+	//
+	// Source on for exactly 10 s, then dark until t=110 s. 100 µW can
+	// not lift the bank to 2.4 V in 10 s, so a 30 s wait splits into
+	// exactly 10 s charging + 20 s off.
+	src := harvest.SolarPanel{
+		PeakPower:          100 * units.MicroWatt,
+		OpenCircuitVoltage: 3.0,
+		Light:              harvest.BlackoutTrace(harvest.ConstantTrace(1), [2]units.Seconds{10, 100}),
+	}
+	sys := power.NewSystem(src)
+	arr := reservoir.NewArray(smallBank(), reservoir.NormallyOpen)
+	d := NewDevice(sys, arr, device.MSP430FR5969())
+	elapsed, ok := d.ChargeTo(2.4, 30)
+	if ok {
+		t.Fatalf("charge reached target at %v; the test needs a starved source", elapsed)
+	}
+	if elapsed != 30 {
+		t.Fatalf("elapsed = %v, want 30", elapsed)
+	}
+	if got := d.Stats.TimeCharging; got != 10 {
+		t.Errorf("TimeCharging = %v, want exactly 10 (the powered span)", got)
+	}
+	if got := d.Stats.TimeOff; got != 20 {
+		t.Errorf("TimeOff = %v, want exactly 20 (the dark span)", got)
+	}
+	if sum := d.Stats.TimeCharging + d.Stats.TimeOff; sum != elapsed {
+		t.Errorf("TimeCharging+TimeOff = %v, want %v", sum, elapsed)
+	}
+}
+
 func TestLatchRevertDuringOutage(t *testing.T) {
 	// Input power dies while the big bank is connected. After the latch
 	// retention expires the NO switch reverts to the small default.

@@ -67,13 +67,26 @@ type Bank struct {
 	groups  []Group
 	voltage units.Voltage
 	cycles  int // completed deep-discharge cycles, for wear accounting
+
+	// Derived electrical properties are fixed by the group composition,
+	// which never changes after construction; they are computed once so
+	// the simulator's hot loops (leak ticks, charge segments) don't
+	// re-reduce the groups on every call.
+	cap   units.Capacitance
+	esr   units.Resistance
+	leakR units.Resistance
+	rated units.Voltage
 }
 
 // NewBank builds a named bank from groups. It returns an error when the
 // bank has no capacitance.
 func NewBank(name string, groups ...Group) (*Bank, error) {
 	b := &Bank{name: name, groups: groups}
-	if b.Capacitance() <= 0 {
+	b.cap = b.sumCapacitance()
+	b.esr = b.reduceESR()
+	b.leakR = b.reduceLeakResistance()
+	b.rated = b.reduceRatedVoltage()
+	if b.cap <= 0 {
 		return nil, fmt.Errorf("storage: bank %q has no capacitance", name)
 	}
 	return b, nil
@@ -99,7 +112,9 @@ func (b *Bank) Groups() []Group {
 }
 
 // Capacitance returns the bank's total capacitance.
-func (b *Bank) Capacitance() units.Capacitance {
+func (b *Bank) Capacitance() units.Capacitance { return b.cap }
+
+func (b *Bank) sumCapacitance() units.Capacitance {
 	var c units.Capacitance
 	for _, g := range b.groups {
 		c += g.Capacitance()
@@ -109,7 +124,9 @@ func (b *Bank) Capacitance() units.Capacitance {
 
 // ESR returns the bank's effective series resistance: the parallel
 // combination of the group ESRs.
-func (b *Bank) ESR() units.Resistance {
+func (b *Bank) ESR() units.Resistance { return b.esr }
+
+func (b *Bank) reduceESR() units.Resistance {
 	var inv float64
 	for _, g := range b.groups {
 		if r := g.ESR(); r > 0 && !math.IsInf(float64(r), 1) {
@@ -124,7 +141,9 @@ func (b *Bank) ESR() units.Resistance {
 
 // LeakResistance returns the bank's effective leakage resistance, or 0
 // when leakage is negligible.
-func (b *Bank) LeakResistance() units.Resistance {
+func (b *Bank) LeakResistance() units.Resistance { return b.leakR }
+
+func (b *Bank) reduceLeakResistance() units.Resistance {
 	var inv float64
 	for _, g := range b.groups {
 		if r := g.LeakResistance(); r > 0 {
@@ -148,7 +167,9 @@ func (b *Bank) Volume() units.Volume {
 
 // RatedVoltage returns the lowest rated voltage across the bank's
 // groups — the bank must not be charged above it.
-func (b *Bank) RatedVoltage() units.Voltage {
+func (b *Bank) RatedVoltage() units.Voltage { return b.rated }
+
+func (b *Bank) reduceRatedVoltage() units.Voltage {
 	v := units.Voltage(math.Inf(1))
 	for _, g := range b.groups {
 		if g.Count > 0 && g.Tech.RatedVoltage < v {
@@ -169,8 +190,8 @@ func (b *Bank) SetVoltage(v units.Voltage) {
 	if v < 0 {
 		v = 0
 	}
-	if r := b.RatedVoltage(); r > 0 && v > r {
-		v = r
+	if b.rated > 0 && v > b.rated {
+		v = b.rated
 	}
 	b.voltage = v
 }
@@ -220,11 +241,10 @@ func (b *Bank) Discharge(p units.Power, dt units.Seconds, floor units.Voltage) (
 
 // Leak self-discharges the bank for dt through its leakage resistance.
 func (b *Bank) Leak(dt units.Seconds) {
-	r := b.LeakResistance()
-	if r <= 0 {
+	if b.leakR <= 0 || b.voltage <= 0 {
 		return
 	}
-	b.voltage = units.LeakVoltageAfter(b.Capacitance(), b.voltage, r, dt)
+	b.voltage = units.LeakVoltageAfter(b.cap, b.voltage, b.leakR, dt)
 }
 
 // Cycles returns the number of deep-discharge cycles the bank has

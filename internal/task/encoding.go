@@ -8,12 +8,20 @@ import (
 func floatBits(v float64) uint64     { return math.Float64bits(v) }
 func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
 
+// appendFloatBytes encodes v onto a fresh copy of b — for staging a
+// series whose backing bytes are not owned by the caller (an NV view).
 func appendFloatBytes(b []byte, v float64) []byte {
-	out := make([]byte, len(b), len(b)+8)
+	out := make([]byte, len(b), len(b)+64)
 	copy(out, b)
+	return appendFloatInPlace(out, v)
+}
+
+// appendFloatInPlace encodes v onto b itself (amortized growth); the
+// caller must own b.
+func appendFloatInPlace(b []byte, v float64) []byte {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	return append(out, buf[:]...)
+	return append(b, buf[:]...)
 }
 
 func decodeFloats(b []byte) []float64 {

@@ -147,6 +147,17 @@ type Engine struct {
 	// Profile accumulates per-task execution measurements — the §3
 	// "measure task energy consumption on continuous power" harness.
 	Profile map[string]*TaskProfile
+
+	// ctx is the reusable execution context (reset per attempt) and
+	// curTask the interned current-task name: a long sweep runs millions
+	// of task attempts, so per-attempt context and name allocations
+	// dominated the profile.
+	ctx     Ctx
+	curTask string
+	// curT memoizes the *Task for curTask: sample loops revisit the
+	// same task millions of times, and the name-keyed map lookup was a
+	// measurable slice of the scheduler iteration.
+	curT *Task
 }
 
 // TaskProfile is one task's accumulated execution cost.
@@ -205,10 +216,22 @@ const nvCurrentTask = "__task.current"
 // CurrentTask returns the durable current-task pointer, defaulting to
 // the program entry.
 func (e *Engine) CurrentTask() string {
-	if b, ok := e.Dev.NV.Blob(nvCurrentTask); ok {
-		return string(b)
+	b, ok := e.Dev.NV.PeekBlob(nvCurrentTask)
+	if !ok {
+		return e.Prog.Entry
 	}
-	return e.Prog.Entry
+	// Neither the []byte→string comparison nor the map index below
+	// allocates; interning the name against the program's task table
+	// keeps the hot read alloc-free across transitions.
+	if e.curTask != "" && e.curTask == string(b) {
+		return e.curTask
+	}
+	if t, ok := e.Prog.tasks[string(b)]; ok {
+		e.curTask = t.Name
+	} else {
+		e.curTask = string(b)
+	}
+	return e.curTask
 }
 
 // Run executes the program until the simulated clock reaches horizon,
@@ -218,9 +241,14 @@ func (e *Engine) Run(horizon units.Seconds) error {
 	alive := false
 	for e.Dev.Now() < horizon {
 		name := e.CurrentTask()
-		t, ok := e.Prog.Task(name)
-		if !ok {
-			return fmt.Errorf("task: transition to undefined task %q", name)
+		t := e.curT
+		if t == nil || t.Name != name {
+			var ok bool
+			t, ok = e.Prog.Task(name)
+			if !ok {
+				return fmt.Errorf("task: transition to undefined task %q", name)
+			}
+			e.curT = t
 		}
 		if !e.PM.Prepare(t, alive, horizon) {
 			return nil // deadline reached while preparing
@@ -247,10 +275,17 @@ func (e *Engine) Run(horizon units.Seconds) error {
 			e.Dev.NV.Delete(nvCurrentTask)
 			return nil
 		}
-		if _, ok := e.Prog.Task(string(next)); !ok {
-			return fmt.Errorf("task: %s transitioned to undefined task %q", t.Name, next)
+		// Self-transitions need no validation (the running task is by
+		// construction defined) and leave the durable pointer untouched:
+		// the stored name is already correct, and skipping the write
+		// keeps tight sample loops free of per-iteration blob
+		// allocations.
+		if string(next) != name {
+			if _, ok := e.Prog.Task(string(next)); !ok {
+				return fmt.Errorf("task: %s transitioned to undefined task %q", t.Name, next)
+			}
+			e.Dev.NV.SetBlob(nvCurrentTask, []byte(next))
 		}
-		e.Dev.NV.SetBlob(nvCurrentTask, []byte(next))
 	}
 	return nil
 }
@@ -280,6 +315,9 @@ func (e *Engine) exec(t *Task, ctx *Ctx) (next Next, failed bool) {
 type Ctx struct {
 	eng *Engine
 
+	// scratch is the reusable key buffer for deterministic commits.
+	scratch []string
+
 	stagedWords map[string]uint64
 	stagedBlobs map[string][]byte
 	stagedDel   map[string]bool
@@ -295,14 +333,22 @@ type Ctx struct {
 	probeWord uint64
 }
 
+// newCtx resets and returns the engine's reusable execution context.
+// The staged-write maps are retained across attempts (cleared, not
+// reallocated) and allocated lazily on first write: most task attempts
+// in a long sweep stage only a handful of keys, and per-attempt
+// context/map allocations dominated the engine's profile.
 func newCtx(e *Engine, taskName string) *Ctx {
-	return &Ctx{
-		eng:         e,
-		taskName:    taskName,
-		stagedWords: make(map[string]uint64),
-		stagedBlobs: make(map[string][]byte),
-		stagedDel:   make(map[string]bool),
-	}
+	c := &e.ctx
+	c.eng = e
+	c.taskName = taskName
+	c.probe = false
+	c.probeWord = 0
+	clear(c.stagedWords)
+	clear(c.stagedBlobs)
+	clear(c.stagedDel)
+	clear(c.stagedChans)
+	return c
 }
 
 // Now returns the simulated time.
@@ -386,6 +432,9 @@ func (c *Ctx) Transmit(r device.Radio, payloadBytes int) units.Seconds {
 
 // SetWord stages a durable word write.
 func (c *Ctx) SetWord(key string, v uint64) {
+	if c.stagedWords == nil {
+		c.stagedWords = make(map[string]uint64)
+	}
 	c.stagedWords[key] = v
 	delete(c.stagedDel, key)
 }
@@ -425,9 +474,15 @@ func (c *Ctx) FloatOr(key string, def float64) float64 {
 
 // AppendFloat stages an append to a durable series.
 func (c *Ctx) AppendFloat(key string, v float64) {
+	// An already-staged blob is owned by this Ctx (staging always copies
+	// out of NV first), so repeated appends within one task body grow it
+	// in place instead of copying the whole series each time.
+	if b, ok := c.stagedBlobs[key]; ok {
+		c.stagedBlobs[key] = appendFloatInPlace(b, v)
+		return
+	}
 	cur := c.blobView(key)
-	c.stagedBlobs[key] = appendFloatBytes(cur, v)
-	delete(c.stagedDel, key)
+	c.setBlob(key, appendFloatBytes(cur, v))
 }
 
 // FloatSeries reads a durable series including staged appends.
@@ -438,9 +493,16 @@ func (c *Ctx) FloatSeries(key string) []float64 {
 // SetFloats stages a durable series wholesale — used to keep bounded
 // sliding windows (e.g. TA's "most recent time series").
 func (c *Ctx) SetFloats(key string, vals []float64) {
-	var b []byte
+	b := make([]byte, 0, len(vals)*8)
 	for _, v := range vals {
-		b = appendFloatBytes(b, v)
+		b = appendFloatInPlace(b, v)
+	}
+	c.setBlob(key, b)
+}
+
+func (c *Ctx) setBlob(key string, b []byte) {
+	if c.stagedBlobs == nil {
+		c.stagedBlobs = make(map[string][]byte)
 	}
 	c.stagedBlobs[key] = b
 	delete(c.stagedDel, key)
@@ -450,6 +512,9 @@ func (c *Ctx) SetFloats(key string, vals []float64) {
 func (c *Ctx) Delete(key string) {
 	delete(c.stagedWords, key)
 	delete(c.stagedBlobs, key)
+	if c.stagedDel == nil {
+		c.stagedDel = make(map[string]bool)
+	}
 	c.stagedDel[key] = true
 }
 
@@ -463,36 +528,59 @@ func (c *Ctx) blobView(key string) []byte {
 	if c.probe {
 		return nil
 	}
-	b, _ := c.eng.Dev.NV.Blob(key)
+	// The view is read-only and never outlives the staging step (every
+	// consumer either decodes it or copies it before staging), so the
+	// aliasing read is safe and saves a copy per access.
+	b, _ := c.eng.Dev.NV.PeekBlob(key)
 	return b
 }
 
 // commit applies the staged writes to non-volatile memory in one
 // atomic step (Chain commits channel writes at the task transition).
 func (c *Ctx) commit() {
-	keys := make([]string, 0, len(c.stagedDel)+len(c.stagedWords)+len(c.stagedBlobs))
-	for k := range c.stagedDel {
-		keys = append(keys, k)
+	keys := c.scratch[:0]
+	defer func() { c.scratch = keys[:0] }()
+	// Each section is guarded: ranging even an empty map costs an
+	// iterator setup, and commit runs once per task transition.
+	if len(c.stagedDel) > 0 {
+		for k := range c.stagedDel {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			c.eng.Dev.NV.Delete(k)
+		}
+		keys = keys[:0]
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		c.eng.Dev.NV.Delete(k)
+	if len(c.stagedWords) > 0 {
+		for k := range c.stagedWords {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			c.eng.Dev.NV.SetWord(k, c.stagedWords[k])
+		}
+		keys = keys[:0]
 	}
-	keys = keys[:0]
-	for k := range c.stagedWords {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		c.eng.Dev.NV.SetWord(k, c.stagedWords[k])
-	}
-	keys = keys[:0]
-	for k := range c.stagedBlobs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		c.eng.Dev.NV.SetBlob(k, c.stagedBlobs[k])
+	if len(c.stagedBlobs) > 0 {
+		for k := range c.stagedBlobs {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			// Ownership of the staged slice moves to NV: the next
+			// newCtx clears the staged map before anything can touch
+			// it again.
+			c.eng.Dev.NV.SetBlobOwned(k, c.stagedBlobs[k])
+		}
 	}
 	c.commitChans()
+}
+
+// sortKeys orders a commit key set; singletons (the common case for
+// tight sample loops) skip the sort machinery.
+func sortKeys(keys []string) {
+	if len(keys) > 1 {
+		sort.Strings(keys)
+	}
 }
