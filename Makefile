@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench targets.
 SHELL := /bin/bash
 
-.PHONY: build test vet race bench bench-short verify
+.PHONY: build test vet race bench bench-short chaos fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,22 @@ bench:
 # keep BENCH_sim.json parseable and the trajectory fresh.
 bench-short:
 	set -o pipefail; $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Fault-injection sweep: seeded trials with harvester outages injected
+# at adversarial instants and the physics-invariant registry checked
+# after every simulator event (internal/chaos). Any violation is a
+# non-zero exit and is replayable from the printed seed + trial index.
+CHAOS_TRIALS ?= 500
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) run ./cmd/capybench -chaos $(CHAOS_TRIALS) -seed $(CHAOS_SEED)
+
+# Short native-fuzzing smoke runs over the charge-sharing and
+# task-commit targets; the checked-in corpus always runs under plain
+# `go test`, this adds a few seconds of fresh exploration.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzConnect -fuzztime=5s ./internal/storage
+	$(GO) test -run='^$$' -fuzz=FuzzCommitAtomicity -fuzztime=5s ./internal/task
 
 # The full verify path: what CI runs.
 verify: build vet test race

@@ -240,7 +240,10 @@ func BenchmarkRelatedFederated(b *testing.B) {
 func BenchmarkRelatedCheckpointing(b *testing.B) {
 	var wasted float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.Checkpointing()
+		r, err := experiments.Checkpointing()
+		if err != nil {
+			b.Fatal(err)
+		}
 		wasted = r.CoarseTask.ReexecutedOps / 1e6
 	}
 	b.ReportMetric(wasted, "coarse-waste-Mops")

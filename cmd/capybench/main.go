@@ -4,12 +4,20 @@
 // Usage:
 //
 //	capybench [-fig all|2|3|4|8|9|10|11|mech|char|capysat|ablations] [-seed N] [-csv] [-jobs N]
+//	capybench -chaos N [-seed S] [-jobs N]
 //
 // Figures 8, 9, and 11 share one run matrix (every application under
 // every power system), so asking for any of them runs the full grid.
 // Independent simulations fan out across -jobs workers (default: every
 // CPU); the emitted tables are byte-identical at any worker count, so
 // -jobs only changes wall time, never a number.
+//
+// -chaos N runs N seeded fault-injection trials instead of figures:
+// randomized devices with harvester outages injected at adversarial
+// instants, with a physics-invariant registry checked after every
+// simulator event (see internal/chaos). The exit status is non-zero if
+// any invariant is violated; every violation is replayable from its
+// printed seed and trial index.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"runtime"
 	"strings"
 
+	"capybara/internal/chaos"
 	"capybara/internal/core"
 	"capybara/internal/experiments"
 	"capybara/internal/prof"
@@ -36,6 +45,7 @@ func main() {
 	plot := flag.Bool("plot", false, "also render ASCII plots for figures 2, 3, 4, and 10")
 	outDir := flag.String("out", "", "also write each table as a CSV file into this directory")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs (1 forces the serial path)")
+	chaosTrials := flag.Int("chaos", 0, "run N fault-injection trials instead of figures (non-zero exit on any invariant violation)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -45,7 +55,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "capybench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *seed, *asCSV, *orbits, *plot, *outDir, *jobs)
+	if *chaosTrials > 0 {
+		err = runChaos(*chaosTrials, *seed, *jobs)
+	} else {
+		err = run(*fig, *seed, *asCSV, *orbits, *plot, *outDir, *jobs)
+	}
 	stop()
 	if err == nil {
 		err = prof.WriteHeap(*memProfile)
@@ -217,7 +231,11 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 		if err := emit(experiments.Federated().Table()); err != nil {
 			return err
 		}
-		if err := emit(experiments.Checkpointing().Table()); err != nil {
+		ckpt, err := experiments.Checkpointing()
+		if err != nil {
+			return err
+		}
+		if err := emit(ckpt.Table()); err != nil {
 			return err
 		}
 	}
@@ -227,6 +245,24 @@ func run(fig string, seed int64, asCSV bool, orbits int, plot bool, outDir strin
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
+	}
+	return nil
+}
+
+// runChaos executes the fault-injection harness and reports its
+// invariant verdicts; any violation is a non-zero exit.
+func runChaos(trials int, seed int64, jobs int) error {
+	rep, err := chaos.Run(context.Background(), chaos.Config{
+		Trials: trials,
+		Seed:   seed,
+		Jobs:   jobs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	if n := len(rep.Violations); n > 0 {
+		return fmt.Errorf("%d invariant violation(s)", n)
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// cutWindow is one scheduled outage: [start, end) of zero harvester
+// output.
+type cutWindow struct {
+	start, end units.Seconds
+}
+
+// FaultSource wraps a harvest.Source with schedulable outage windows:
+// within a window the harvester is disconnected (zero power, zero
+// voltage). Scenarios use it to cut power at adversarial instants
+// learned from observer hooks — a cut scheduled at an observed event
+// time starts exactly at a segment boundary, which is the hardest
+// instant for the event-driven solver to get right.
+//
+// FaultSource implements harvest.Stepped conservatively: horizons are
+// clipped at the next window boundary, so the analytic solver never
+// integrates across a cut. Scheduling is only legal for windows that
+// start at or after the present simulated time (the solver holds no
+// constancy promise beyond it).
+type FaultSource struct {
+	Base harvest.Source
+	cuts []cutWindow
+}
+
+// CutAt schedules an outage of duration dur starting at start. Windows
+// may overlap; the union is what counts.
+func (f *FaultSource) CutAt(start, dur units.Seconds) {
+	if dur <= 0 {
+		return
+	}
+	f.cuts = append(f.cuts, cutWindow{start: start, end: start + dur})
+}
+
+// InCut reports whether t falls inside a scheduled outage.
+func (f *FaultSource) InCut(t units.Seconds) bool {
+	for _, w := range f.cuts {
+		if t >= w.start && t < w.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Cuts returns the number of scheduled outage windows.
+func (f *FaultSource) Cuts() int { return len(f.cuts) }
+
+// PowerAt implements harvest.Source.
+func (f *FaultSource) PowerAt(t units.Seconds) units.Power {
+	if f.InCut(t) {
+		return 0
+	}
+	return f.Base.PowerAt(t)
+}
+
+// VoltageAt implements harvest.Source.
+func (f *FaultSource) VoltageAt(t units.Seconds) units.Voltage {
+	if f.InCut(t) {
+		return 0
+	}
+	return f.Base.VoltageAt(t)
+}
+
+// NextChange implements harvest.Stepped. Inside a window the output is
+// constant (zero) until the window ends or another begins; outside, the
+// base horizon is clipped at the next window start. A return of 0
+// outside a window means the base source is opaque — callers fall back
+// to fixed-step integration, which remains correct.
+func (f *FaultSource) NextChange(t units.Seconds) units.Seconds {
+	boundary := units.Seconds(math.Inf(1))
+	for _, w := range f.cuts {
+		if w.start > t && w.start-t < boundary {
+			boundary = w.start - t
+		}
+		if w.end > t && w.start <= t && w.end-t < boundary {
+			boundary = w.end - t
+		}
+	}
+	if f.InCut(t) {
+		// Output is pinned to zero up to the nearest boundary regardless
+		// of what the base source does underneath.
+		return boundary
+	}
+	h := harvest.NextChange(f.Base, t)
+	if h <= 0 {
+		return 0 // opaque base: stay conservative
+	}
+	if boundary < h {
+		return boundary
+	}
+	return h
+}
+
+func (f *FaultSource) String() string {
+	return fmt.Sprintf("fault-source{%v, %d cuts}", f.Base, len(f.cuts))
+}

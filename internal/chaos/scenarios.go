@@ -1,0 +1,385 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"capybara/internal/core"
+	"capybara/internal/device"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/runner"
+	"capybara/internal/sim"
+	"capybara/internal/storage"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// scenarioNames lists the fault scenarios in dispatch order; trial job
+// j runs scenario j mod len(scenarioNames), so any contiguous block of
+// trials covers every scenario.
+var scenarioNames = []string{
+	"random-ops",
+	"segment-boundary-cut",
+	"cold-start-cut",
+	"latch-expiry",
+	"reconfig-dropout",
+	"task-workload",
+}
+
+// trial is the per-job state of one chaos run.
+type trial struct {
+	job      int
+	seed     int64
+	scenario string
+	rng      *rand.Rand
+
+	dev  *sim.Device
+	arr  *reservoir.Array
+	fs   *FaultSource
+	chk  *Checker
+	vmax units.Voltage
+}
+
+// observer fans one sim.Observer slot out to the invariant checker and
+// an optional scenario hook (which schedules faults off live events).
+// The checker runs first so each event is judged before the hook
+// perturbs the future.
+type observer struct {
+	chk  *Checker
+	hook func(d *sim.Device, e sim.HookEvent)
+}
+
+func (o *observer) Observe(d *sim.Device, e sim.HookEvent) {
+	o.chk.Observe(d, e)
+	if o.hook != nil {
+		o.hook(d, e)
+	}
+}
+
+// genParts builds the randomized hardware for a trial: base bank,
+// switched banks, switch kind, and a fault-wrapped harvester. The
+// construction is a pure function of the rng stream, which is how the
+// cold-start scenario dry-runs an identical twin of its device.
+func genParts(rng *rand.Rand) (base *storage.Bank, switched []*storage.Bank, kind reservoir.SwitchKind, fs *FaultSource) {
+	baseCap := units.Capacitance(100+rng.Float64()*400) * units.MicroFarad
+	base = storage.MustBank("base",
+		storage.GroupFor(storage.CeramicX5R, baseCap),
+		storage.GroupOf(storage.Tantalum, 1+rng.Intn(2)))
+
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		var g storage.Group
+		if rng.Intn(2) == 0 {
+			g = storage.GroupOf(storage.EDLC, 1+rng.Intn(9))
+		} else {
+			g = storage.GroupOf(storage.SupercapCPH3225A, 1+rng.Intn(4))
+		}
+		switched = append(switched, storage.MustBank(fmt.Sprintf("bank%d", i+1), g))
+	}
+
+	kind = reservoir.NormallyOpen
+	if rng.Intn(2) == 0 {
+		kind = reservoir.NormallyClosed
+	}
+
+	var src harvest.Source
+	switch rng.Intn(3) {
+	case 0:
+		src = harvest.RegulatedSupply{
+			Max: units.Power(1+rng.Float64()*19) * units.MilliWatt,
+			V:   units.Voltage(2.5 + rng.Float64()*2),
+		}
+	case 1:
+		src = harvest.SolarPanel{
+			PeakPower:          units.Power(2+rng.Float64()*8) * units.MilliWatt,
+			OpenCircuitVoltage: units.Voltage(1.5 + rng.Float64()),
+			Series:             1 + rng.Intn(3),
+			Light:              harvest.PWMTrace(0.3+rng.Float64()*0.6, units.Seconds(5+rng.Float64()*40)),
+		}
+	default:
+		src = harvest.SolarPanel{
+			PeakPower:          units.Power(3+rng.Float64()*10) * units.MilliWatt,
+			OpenCircuitVoltage: units.Voltage(2 + rng.Float64()),
+			Series:             2,
+		}
+	}
+	return base, switched, kind, &FaultSource{Base: src}
+}
+
+// newTrial assembles a device for the scripted (non-task) scenarios.
+func newTrial(job int, seed int64, rng *rand.Rand) *trial {
+	base, switched, kind, fs := genParts(rng)
+	arr := reservoir.NewArray(base, kind, switched...)
+	dev := sim.NewDevice(power.NewSystem(fs), arr, device.MSP430FR5969())
+
+	vmax := units.Voltage(math.Inf(1))
+	for i := 0; i < arr.NumBanks(); i++ {
+		if r := arr.Bank(i).RatedVoltage(); r > 0 && r < vmax {
+			vmax = r
+		}
+	}
+	vmax -= 0.05
+
+	// A common starting voltage keeps whatever set the switch defaults
+	// connect electrically consistent (connected banks share one
+	// terminal; diverging them by hand would fake a violation).
+	v0 := units.Voltage(rng.Float64() * 1.2)
+	for i := 0; i < arr.NumBanks(); i++ {
+		arr.Bank(i).SetVoltage(v0)
+	}
+
+	tr := &trial{
+		job: job, seed: seed, rng: rng,
+		scenario: scenarioNames[job%len(scenarioNames)],
+		dev:      dev, arr: arr, fs: fs, vmax: vmax,
+	}
+	tr.chk = NewChecker(dev, job, seed)
+	return tr
+}
+
+// scheduleRandomCuts sprinkles outages across the horizon up front
+// (legal: every window is in the future at t=0).
+func (tr *trial) scheduleRandomCuts(horizon units.Seconds) {
+	for i, n := 0, 1+tr.rng.Intn(8); i < n; i++ {
+		start := units.Seconds(tr.rng.Float64() * float64(horizon))
+		tr.fs.CutAt(start, units.Seconds(0.5+tr.rng.Float64()*30))
+	}
+}
+
+// drive exercises the device with a random operation mix until the
+// horizon, stopping early once an invariant has failed (the wreckage
+// after a first violation is not more signal).
+func (tr *trial) drive(horizon units.Seconds) {
+	d := tr.dev
+	for d.Now() < horizon && len(tr.chk.Violations) == 0 {
+		switch tr.rng.Intn(7) {
+		case 0, 1:
+			target := units.Voltage(1.7 + tr.rng.Float64()*float64(tr.vmax-1.7))
+			d.ChargeTo(target, units.Seconds(5+tr.rng.Float64()*115))
+		case 2:
+			if d.Boot() {
+				d.Drain(d.MCU.ActivePower, units.Seconds(0.01+tr.rng.Float64()*2))
+			}
+		case 3:
+			d.Sleep(units.Seconds(0.05 + tr.rng.Float64()*5))
+		case 4:
+			mask := uint64(tr.rng.Intn(1<<uint(tr.arr.NumBanks()))) | 1
+			if err := d.Configure(mask); err != nil {
+				tr.chk.Failf("scenario", d.Now(), "configure %#b failed: %v", mask, err)
+				return
+			}
+		default:
+			d.AdvanceOff(units.Seconds(1 + tr.rng.Float64()*120))
+		}
+	}
+}
+
+// run dispatches the trial's scenario.
+func (tr *trial) run(horizon units.Seconds) {
+	switch tr.scenario {
+	case "segment-boundary-cut":
+		tr.segmentBoundaryCut(horizon)
+	case "cold-start-cut":
+		tr.coldStartCut(horizon)
+	case "latch-expiry":
+		tr.latchExpiry(horizon)
+	case "reconfig-dropout":
+		tr.reconfigDropout(horizon)
+	default: // random-ops
+		tr.scheduleRandomCuts(horizon)
+		tr.dev.Obs = &observer{chk: tr.chk}
+		tr.drive(horizon)
+	}
+}
+
+// segmentBoundaryCut schedules outages that start exactly where an
+// analytic charge segment ended: the solver's event boundaries are the
+// instants its bookkeeping is most likely to be off by one.
+func (tr *trial) segmentBoundaryCut(horizon units.Seconds) {
+	countdown := 2 + tr.rng.Intn(5)
+	tr.dev.Obs = &observer{chk: tr.chk, hook: func(d *sim.Device, e sim.HookEvent) {
+		if e.Kind != sim.HookChargeSegment {
+			return
+		}
+		if countdown--; countdown <= 0 {
+			tr.fs.CutAt(e.T1, units.Seconds(0.5+tr.rng.Float64()*20))
+			countdown = 2 + tr.rng.Intn(6)
+		}
+	}}
+	tr.drive(horizon)
+}
+
+// coldStartCut kills the harvester at the exact instant the store
+// crosses the booster's cold-start threshold. The crossing time comes
+// from a dry run on an identical twin device — genParts replayed on a
+// fresh copy of the trial's rng stream — so the cut boundary coincides
+// with the phase change to the precision of the solver itself.
+func (tr *trial) coldStartCut(horizon units.Seconds) {
+	twinRng := runner.RNG(tr.seed, tr.job)
+	base, switched, kind, twinFS := genParts(twinRng)
+	twinArr := reservoir.NewArray(base, kind, switched...)
+	twinDev := sim.NewDevice(power.NewSystem(twinFS), twinArr, device.MSP430FR5969())
+
+	// Start both devices below the threshold so the ramp crosses it,
+	// and re-base the checker on the adjusted state.
+	coldStart := tr.dev.Sys.In.ColdStart
+	start := units.Voltage(tr.rng.Float64() * float64(coldStart) * 0.8)
+	for i := 0; i < tr.arr.NumBanks(); i++ {
+		tr.arr.Bank(i).SetVoltage(start)
+	}
+	for i := 0; i < twinArr.NumBanks(); i++ {
+		twinArr.Bank(i).SetVoltage(start)
+	}
+	maxViol := tr.chk.MaxViolations
+	tr.chk = NewChecker(tr.dev, tr.job, tr.seed)
+	tr.chk.MaxViolations = maxViol
+
+	if tCross, reached := twinDev.ChargeTo(coldStart, horizon); reached {
+		tr.fs.CutAt(tCross, units.Seconds(1+tr.rng.Float64()*30))
+	}
+	tr.dev.Obs = &observer{chk: tr.chk}
+	tr.dev.ChargeTo(tr.vmax, horizon/2)
+	tr.drive(horizon)
+}
+
+// latchExpiry walks the latch-retention boundary: it programs the
+// non-default configuration, cuts the harvester, and advances exactly
+// one tick before / at / one tick after the predicted expiry, asserting
+// the revert fires iff the retention span has fully elapsed.
+func (tr *trial) latchExpiry(horizon units.Seconds) {
+	d := tr.dev
+	tr.dev.Obs = &observer{chk: tr.chk}
+
+	// Pick the mask that puts every switch in its NON-default state so
+	// each holds its latch: all-on for normally-open, base-only for
+	// normally-closed.
+	mask := uint64(1)<<uint(tr.arr.NumBanks()) - 1
+	if tr.arr.Switch(1).Kind == reservoir.NormallyClosed {
+		mask = 1
+	}
+	if err := d.Configure(mask); err != nil {
+		tr.chk.Failf("scenario", d.Now(), "configure %#b failed: %v", mask, err)
+		return
+	}
+	tr.fs.CutAt(d.Now(), 2*horizon)
+
+	nr := tr.arr.NextRevert()
+	if math.IsInf(float64(nr), 1) || nr <= 0 {
+		tr.chk.Failf("latch-expiry", d.Now(), "held switches report no finite expiry: %v", nr)
+		return
+	}
+	const eps units.Seconds = 1e-6
+	offset := []units.Seconds{-eps, 0, eps}[tr.rng.Intn(3)]
+	before := tr.arr.Reverts
+	d.AdvanceOff(nr + offset)
+	reverted := tr.arr.Reverts > before
+	if want := offset >= 0; reverted != want {
+		tr.chk.Failf("latch-expiry", d.Now(),
+			"advance of expiry%+v: reverted=%v, want %v (retention %v)", offset, reverted, want, nr)
+		return
+	}
+	if offset < 0 {
+		// One tick short: the residual expiry must close out the revert.
+		rest := tr.arr.NextRevert()
+		if math.IsInf(float64(rest), 1) {
+			tr.chk.Failf("latch-expiry", d.Now(), "held switch lost its expiry one tick before retention")
+			return
+		}
+		d.AdvanceOff(rest)
+		if tr.arr.Reverts == before {
+			tr.chk.Failf("latch-expiry", d.Now(), "residual expiry %v did not revert", rest)
+			return
+		}
+	}
+	tr.drive(horizon)
+}
+
+// reconfigDropout cuts the harvester at the instant software
+// reconfigures the bank switches, so the charge-share transient and the
+// GPIO programming drain both happen over a dying supply.
+func (tr *trial) reconfigDropout(horizon units.Seconds) {
+	countdown := 1 + tr.rng.Intn(3)
+	tr.dev.Obs = &observer{chk: tr.chk, hook: func(d *sim.Device, e sim.HookEvent) {
+		if e.Kind != sim.HookReconfig {
+			return
+		}
+		if countdown--; countdown <= 0 {
+			tr.fs.CutAt(e.T0, units.Seconds(0.01+tr.rng.Float64()*5))
+			countdown = 1 + tr.rng.Intn(4)
+		}
+	}}
+	tr.drive(horizon)
+}
+
+// taskWorkload runs a writer/reader task graph under the Capybara
+// runtime with random outages and asserts channel atomicity: the writer
+// publishes a pair of fields in one commit, so the reader must never
+// observe them torn, no matter where power failed.
+func runTaskWorkload(job int, seed int64, rng *rand.Rand, horizon units.Seconds, maxViol int) *trial {
+	base, switched, kind, fs := genParts(rng)
+
+	maskAll := uint64(1)<<uint(1+len(switched)) - 1
+	variant := core.CapyP
+	if rng.Intn(2) == 0 {
+		variant = core.CapyR
+	}
+
+	tr := &trial{job: job, seed: seed, rng: rng, scenario: "task-workload", fs: fs}
+
+	writer := &task.Task{
+		Name:   "writer",
+		Config: "hi",
+		Run: func(c *task.Ctx) task.Next {
+			c.Compute(2_000 + float64(rng.Intn(20_000)))
+			n := c.WordOr("n", 0) + 1
+			c.SetWord("n", n)
+			// One commit publishes the pair; tearing them is the bug.
+			c.ChanOut("reader", "a", n)
+			c.ChanOut("reader", "b", 2*n)
+			return "reader"
+		},
+	}
+	reader := &task.Task{
+		Name:   "reader",
+		Config: "lo",
+		Run: func(c *task.Ctx) task.Next {
+			a, okA := c.ChanIn("a", "writer")
+			b, okB := c.ChanIn("b", "writer")
+			if okA != okB || (okA && b != 2*a) {
+				tr.chk.Failf("channel-atomicity", c.Now(),
+					"reader saw torn pair: a=%d(%v) b=%d(%v)", a, okA, b, okB)
+			}
+			c.Compute(1_000 + float64(rng.Intn(5_000)))
+			return "writer"
+		},
+	}
+	prog := task.MustProgram("writer", writer, reader)
+
+	inst, err := core.New(core.Config{
+		Variant:    variant,
+		Source:     fs,
+		MCU:        device.MSP430FR5969(),
+		Base:       base,
+		Switched:   switched,
+		SwitchKind: kind,
+		Modes: []core.Mode{
+			{Name: "hi", Mask: maskAll},
+			{Name: "lo", Mask: 1, VTop: 2.2},
+		},
+	}, prog)
+	if err != nil {
+		panic(fmt.Sprintf("chaos: task workload construction failed: %v", err))
+	}
+	tr.dev, tr.arr = inst.Dev, inst.Dev.Array
+	tr.chk = NewChecker(tr.dev, job, seed)
+	tr.chk.MaxViolations = maxViol
+	tr.dev.Obs = &observer{chk: tr.chk}
+	tr.scheduleRandomCuts(horizon)
+
+	if err := inst.Run(horizon); err != nil {
+		tr.chk.Failf("scenario", tr.dev.Now(), "engine error: %v", err)
+	}
+	return tr
+}

@@ -42,11 +42,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// saveTime returns the duration of one checkpoint write.
-func (c Config) saveTime() units.Seconds {
-	if c.FRAMBandwidth <= 0 {
-		return 0
+// Validate rejects configurations the executor would silently
+// mis-model: a non-positive FRAM bandwidth makes every snapshot free
+// (zero save time, zero reserved energy — checkpointing with no cost is
+// not a comparison), and a margin below 1 reserves less energy than the
+// save itself needs, so the supervisor fires too late by construction.
+func (c Config) Validate() error {
+	if c.SnapshotBytes <= 0 {
+		return fmt.Errorf("checkpoint: SnapshotBytes must be positive, got %d", c.SnapshotBytes)
 	}
+	if c.FRAMBandwidth <= 0 {
+		return fmt.Errorf("checkpoint: FRAMBandwidth must be positive, got %g (a free snapshot is not a model)", c.FRAMBandwidth)
+	}
+	if c.VTop <= 0 {
+		return fmt.Errorf("checkpoint: VTop must be positive, got %v", c.VTop)
+	}
+	if c.Margin < 1 {
+		return fmt.Errorf("checkpoint: Margin must be >= 1, got %g (reserving less than one save under-provisions the supervisor)", c.Margin)
+	}
+	return nil
+}
+
+// saveTime returns the duration of one checkpoint write. Validate has
+// already rejected non-positive bandwidth.
+func (c Config) saveTime() units.Seconds {
 	return units.Seconds(float64(c.SnapshotBytes) / c.FRAMBandwidth)
 }
 
@@ -73,15 +92,18 @@ func (r Result) String() string {
 }
 
 // Run executes totalOps of computation under the checkpointing
-// discipline on dev, until the horizon.
-func Run(dev *sim.Device, cfg Config, totalOps float64, horizon units.Seconds) Result {
+// discipline on dev, until the horizon. An invalid cfg is an error, not
+// a silently-adjusted run (the old behavior clamped Margin and made
+// zero-bandwidth snapshots free, which skewed every comparison built on
+// the result).
+func Run(dev *sim.Device, cfg Config, totalOps float64, horizon units.Seconds) (Result, error) {
 	var res Result
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
 	mcu := dev.MCU
 	saveT := cfg.saveTime()
 	margin := cfg.Margin
-	if margin < 1 {
-		margin = 1
-	}
 	remaining := totalOps
 
 	for remaining > 0 && dev.Now() < horizon {
@@ -144,7 +166,7 @@ func Run(dev *sim.Device, cfg Config, totalOps float64, horizon units.Seconds) R
 	}
 	res.Elapsed = dev.Now()
 	res.Done = remaining <= 0
-	return res
+	return res, nil
 }
 
 // RunTaskRestart executes totalOps decomposed into tasks of taskOps

@@ -24,7 +24,10 @@ func newDevice(capacitance units.Capacitance, supply units.Power) *sim.Device {
 
 func TestCheckpointCompletesComputation(t *testing.T) {
 	dev := newDevice(units.MilliFarad, 2*units.MilliWatt)
-	res := Run(dev, DefaultConfig(), 20e6, 1e5)
+	res, err := Run(dev, DefaultConfig(), 20e6, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Done {
 		t.Fatalf("computation did not finish: %v", res)
 	}
@@ -49,7 +52,10 @@ func TestCheckpointSmallBufferStalls(t *testing.T) {
 	// A buffer too small to hold even one snapshot's energy cannot make
 	// progress — the §2.2.1 infeasible region.
 	dev := newDevice(20*units.MicroFarad, 2*units.MilliWatt)
-	res := Run(dev, DefaultConfig(), 20e6, 200)
+	res, err := Run(dev, DefaultConfig(), 20e6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Done {
 		t.Fatalf("tiny buffer should not finish 20 Mops: %v", res)
 	}
@@ -106,7 +112,10 @@ func TestCheckpointVsTaskRestartOverheads(t *testing.T) {
 	// Both disciplines finish; checkpointing pays snapshot time, task
 	// restart pays re-execution. Neither should be free on a small
 	// buffer.
-	cp := Run(newDevice(units.MilliFarad, 2*units.MilliWatt), DefaultConfig(), 20e6, 1e5)
+	cp, err := Run(newDevice(units.MilliFarad, 2*units.MilliWatt), DefaultConfig(), 20e6, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := RunTaskRestart(newDevice(units.MilliFarad, 2*units.MilliWatt), 2.4, 20e6, 2e6, 1e5)
 	if !cp.Done || !tr.Done {
 		t.Fatal("runs did not finish")
@@ -121,7 +130,10 @@ func TestCheckpointVsTaskRestartOverheads(t *testing.T) {
 
 func TestDeadSourceGivesUp(t *testing.T) {
 	dev := newDevice(units.MilliFarad, 0)
-	res := Run(dev, DefaultConfig(), 1e6, 100)
+	res, err := Run(dev, DefaultConfig(), 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Done || res.CompletedOps != 0 {
 		t.Fatalf("dead source produced work: %v", res)
 	}
@@ -129,5 +141,54 @@ func TestDeadSourceGivesUp(t *testing.T) {
 	res2 := RunTaskRestart(dev2, 2.4, 1e6, 1e5, 100)
 	if res2.Done {
 		t.Fatalf("dead source finished: %v", res2)
+	}
+}
+
+// TestConfigValidate pins the validation rules: the old Run silently
+// clamped Margin to 1 and treated FRAMBandwidth <= 0 as a free
+// (zero-duration, zero-energy) snapshot, which skewed every comparison
+// built on the result.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero snapshot", func(c *Config) { c.SnapshotBytes = 0 }},
+		{"negative snapshot", func(c *Config) { c.SnapshotBytes = -1 }},
+		{"zero bandwidth", func(c *Config) { c.FRAMBandwidth = 0 }},
+		{"negative bandwidth", func(c *Config) { c.FRAMBandwidth = -1e6 }},
+		{"zero vtop", func(c *Config) { c.VTop = 0 }},
+		{"sub-unity margin", func(c *Config) { c.Margin = 0.5 }},
+	}
+	for _, tc := range bad {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+}
+
+// TestRunRejectsInvalidConfig verifies Run refuses to execute a
+// mis-modeled configuration instead of silently adjusting it.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FRAMBandwidth = 0
+	dev := newDevice(units.MilliFarad, 2*units.MilliWatt)
+	res, err := Run(dev, cfg, 1e6, 100)
+	if err == nil {
+		t.Fatal("Run accepted a zero-bandwidth (free snapshot) config")
+	}
+	if res.CompletedOps != 0 || dev.Now() != 0 {
+		t.Fatalf("Run did work before rejecting the config: %+v at t=%v", res, dev.Now())
+	}
+
+	cfg = DefaultConfig()
+	cfg.Margin = 0.2
+	if _, err := Run(newDevice(units.MilliFarad, 2*units.MilliWatt), cfg, 1e6, 100); err == nil {
+		t.Fatal("Run accepted a sub-unity margin instead of returning an error")
 	}
 }

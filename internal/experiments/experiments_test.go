@@ -368,7 +368,10 @@ func TestFederatedComparison(t *testing.T) {
 }
 
 func TestCheckpointingComparison(t *testing.T) {
-	r := Checkpointing()
+	r, err := Checkpointing()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Checkpoint.Done || !r.FineTasks.Done || !r.CoarseTask.Done {
 		t.Fatalf("not all runtimes finished: %+v", r)
 	}

@@ -124,7 +124,7 @@ type CheckpointResult struct {
 
 // Checkpointing runs the comparison: a 20 Mop computation on a 1 mF
 // buffer at 2 mW harvested.
-func Checkpointing() CheckpointResult {
+func Checkpointing() (CheckpointResult, error) {
 	const totalOps = 20e6
 	mk := func() *sim.Device {
 		tech := storage.Technology{
@@ -135,12 +135,16 @@ func Checkpointing() CheckpointResult {
 		sys := power.NewSystem(harvest.RegulatedSupply{Max: 2 * units.MilliWatt, V: 3.0})
 		return sim.NewDevice(sys, arr, device.MSP430FR5969())
 	}
+	ckpt, err := checkpoint.Run(mk(), checkpoint.DefaultConfig(), totalOps, 1e5)
+	if err != nil {
+		return CheckpointResult{}, err
+	}
 	return CheckpointResult{
 		TotalOps:   totalOps,
-		Checkpoint: checkpoint.Run(mk(), checkpoint.DefaultConfig(), totalOps, 1e5),
+		Checkpoint: ckpt,
 		FineTasks:  checkpoint.RunTaskRestart(mk(), 2.4, totalOps, 0.1e6, 1e5),
 		CoarseTask: checkpoint.RunTaskRestart(mk(), 2.4, totalOps, 2e6, 1e5),
-	}
+	}, nil
 }
 
 // Table renders the checkpointing comparison.

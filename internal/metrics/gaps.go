@@ -108,9 +108,14 @@ func NewHistogram(edges ...units.Seconds) *Histogram {
 	return &Histogram{Edges: edges, Counts: make([]int, len(edges)+1)}
 }
 
-// Add bins one value.
+// Add bins one value. Counts is grown on demand so a Histogram built
+// by hand (or the zero value, a single all-encompassing bin) works the
+// same as one from NewHistogram instead of indexing out of range.
 func (h *Histogram) Add(v units.Seconds) {
 	i := sort.Search(len(h.Edges), func(i int) bool { return v < h.Edges[i] })
+	for len(h.Counts) <= len(h.Edges) {
+		h.Counts = append(h.Counts, 0)
+	}
 	h.Counts[i]++
 }
 

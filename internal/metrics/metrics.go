@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"capybara/internal/units"
@@ -178,12 +179,19 @@ type Summary struct {
 }
 
 // Summarize computes a Summary; an empty input yields the zero value.
+// NaN values are dropped before sorting — a single undefined latency
+// (e.g. a report that never happened subtracted from one that did)
+// would otherwise poison the sort order and every derived statistic.
 func Summarize(xs []units.Seconds) Summary {
-	if len(xs) == 0 {
+	sorted := make([]units.Seconds, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(float64(x)) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := make([]units.Seconds, len(xs))
-	copy(sorted, xs)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var sum units.Seconds
 	for _, x := range sorted {

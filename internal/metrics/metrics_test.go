@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -190,5 +191,40 @@ func TestDelayedFraction(t *testing.T) {
 	}
 	if got := DelayedFraction(xs, 0.05); got != 1 {
 		t.Fatalf("all-delayed = %g", got)
+	}
+}
+
+// TestSummarizeDropsNaN pins the NaN guard: a single undefined latency
+// used to poison the sort order, so every derived statistic (including
+// the mean) came out NaN.
+func TestSummarizeDropsNaN(t *testing.T) {
+	nan := units.Seconds(math.NaN())
+	s := Summarize([]units.Seconds{3, nan, 1, 2, nan})
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3 (NaNs dropped)", s.Count)
+	}
+	if math.IsNaN(float64(s.Mean)) || math.IsNaN(float64(s.Median)) ||
+		math.IsNaN(float64(s.Min)) || math.IsNaN(float64(s.Max)) || math.IsNaN(float64(s.P95)) {
+		t.Fatalf("NaN leaked into summary: %+v", s)
+	}
+	if s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("wrong order statistics after NaN filter: %+v", s)
+	}
+	if all := Summarize([]units.Seconds{nan, nan}); all.Count != 0 {
+		t.Fatalf("all-NaN input should summarize to the zero value, got %+v", all)
+	}
+}
+
+// TestEmptySampleGuards pins the division-by-zero guards on the
+// fraction helpers and the empty-input summary.
+func TestEmptySampleGuards(t *testing.T) {
+	if f := (Accuracy{}).FractionCorrect(); f != 0 {
+		t.Fatalf("FractionCorrect on zero events = %v, want 0", f)
+	}
+	if f := DelayedFraction(nil, 1); f != 0 {
+		t.Fatalf("DelayedFraction on no samples = %v, want 0", f)
+	}
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero value", s)
 	}
 }

@@ -25,6 +25,26 @@ type Store interface {
 	ESR() units.Resistance
 }
 
+// Rated is optionally implemented by stores that know the maximum
+// voltage they may be charged to (the lowest rating across their
+// members). The charger treats it as a hard ceiling — the booster's
+// overvoltage lockout parks a full store at its rating. Without the
+// ceiling the charger would command voltages above the rating and rely
+// on each member clamping itself, which silently discards energy and,
+// for a multi-bank set with mixed ratings, leaves the members at
+// different voltages even though they are electrically connected.
+type Rated interface {
+	RatedVoltage() units.Voltage
+}
+
+// ratedCeiling returns the store's rated voltage, or 0 when unknown.
+func ratedCeiling(st Store) units.Voltage {
+	if r, ok := st.(Rated); ok {
+		return r.RatedVoltage()
+	}
+	return 0
+}
+
 // InputBooster models the boost converter between harvester and
 // storage. Below ColdStart volts of stored voltage the converter runs
 // in its inefficient cold-start phase (paper: cold start "substantially
@@ -166,6 +186,13 @@ func (s *System) segmentHorizon(t, remain units.Seconds) units.Seconds {
 	if h > remain {
 		h = remain
 	}
+	// Progress guarantee: a source may promise constancy for a sliver
+	// shorter than one ULP of t (PWM traces near their edges); stepping
+	// by it would leave the clock bit-identical and stall the charge
+	// loop. Round up to the smallest representable advance.
+	if m := units.MinAdvance(t); h < m {
+		h = m
+	}
 	return h
 }
 
@@ -179,12 +206,18 @@ func (s *System) segmentHorizon(t, remain units.Seconds) units.Seconds {
 // reached. The target voltage is snapped exactly so callers can
 // compare against it without float-asymptote drift.
 func (s *System) chargeSegment(st Store, target units.Voltage, t, dt units.Seconds) (units.Seconds, bool) {
+	rated := ratedCeiling(st)
 	elapsed := units.Seconds(0)
 	for elapsed < dt {
 		v := st.Voltage()
 		if target > 0 && v >= target {
 			st.SetVoltage(target)
 			return elapsed, true
+		}
+		if rated > 0 && v >= rated {
+			// Full store: the overvoltage lockout holds it at the rating,
+			// so the rest of the segment is dead air.
+			return dt, false
 		}
 		p := s.ChargePower(v, t)
 		if p <= 0 {
@@ -194,8 +227,12 @@ func (s *System) chargeSegment(st Store, target units.Voltage, t, dt units.Secon
 		}
 		remain := dt - elapsed
 		// Stop the analytic solve at the next charge-path boundary so
-		// the charge power is constant within it.
+		// the charge power is constant within it; never command a
+		// voltage above the store's rating.
 		limit := target
+		if rated > 0 && (limit <= 0 || rated < limit) {
+			limit = rated
+		}
 		if v < s.In.ColdStart {
 			b := s.In.ColdStart
 			if s.Bypass.Enabled {

@@ -1,0 +1,34 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"capybara/internal/harvest"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// TestChargeStopsAtRatedVoltage pins a charger bug the chaos harness
+// surfaced: the analytic solver bounded its solves only by the
+// charge-path boundaries and the target, never by the store's voltage
+// rating. Charging toward a target above the rating made the solver
+// command voltages the store cannot hold: a single bank clamped
+// silently and the solver still reported the target as reached.
+func TestChargeStopsAtRatedVoltage(t *testing.T) {
+	edlc := storage.MustBank("edlc", storage.GroupOf(storage.EDLC, 2)) // rated 3.6 V
+	sys := NewSystem(harvest.RegulatedSupply{Max: 5 * units.MilliWatt, V: 3.0})
+
+	target := units.Voltage(5.0) // above the 3.6 V rating
+	elapsed, reached := sys.TimeToChargeTo(edlc, target, 0, 10_000)
+	if reached {
+		t.Fatalf("solver claims %v reached on a %v-rated bank (elapsed %v, v=%v)",
+			target, edlc.RatedVoltage(), elapsed, edlc.Voltage())
+	}
+	if v := edlc.Voltage(); v > edlc.RatedVoltage()+1e-9 {
+		t.Fatalf("bank charged above rating: %v > %v", v, edlc.RatedVoltage())
+	}
+	if v := edlc.Voltage(); math.Abs(float64(v-edlc.RatedVoltage())) > 1e-9 {
+		t.Fatalf("bank should park at its rating, got %v (rated %v)", v, edlc.RatedVoltage())
+	}
+}

@@ -1,0 +1,151 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// TestRevertFiresExactlyAtRetention pins the boundary semantics the
+// chaos harness surfaced: an outage lasting *exactly* the retention
+// span must revert the switch at, not after, expiry. The old
+// implementation leaked the latch and then compared the post-leak
+// voltage against HoldVoltage with a strict '<', so the boundary
+// depended on exp/log rounding and an exact-length outage could leave
+// the switch holding state forever.
+func TestRevertFiresExactlyAtRetention(t *testing.T) {
+	// Sweep latch programmings: under the old voltage-compare semantics
+	// ~3/4 of FullVoltage values (2.0 V among them) failed the exact
+	// boundary; the prototype's 2.5 V merely happened to round down.
+	for _, full := range []units.Voltage{2.0, 2.25, 2.5, 2.75, 3.0} {
+		s := DefaultSwitch(NormallyOpen)
+		s.FullVoltage = full
+		s.Set(true)
+		if !s.TickUnpowered(s.Retention()) {
+			t.Fatalf("outage of exactly Retention() (%v, full=%v) did not revert (latchV=%v)",
+				s.Retention(), full, s.LatchVoltage())
+		}
+		if s.Closed() {
+			t.Fatalf("NO switch still closed after exact-retention outage (full=%v)", full)
+		}
+		if s.LatchVoltage() != 0 {
+			t.Fatalf("latch not drained after revert: %v", s.LatchVoltage())
+		}
+	}
+
+	s := DefaultSwitch(NormallyOpen)
+
+	// One tick before expiry must NOT revert...
+	s.Set(true)
+	if s.TickUnpowered(s.Retention() - 1e-9) {
+		t.Fatal("reverted one tick before retention expiry")
+	}
+	if !s.Closed() {
+		t.Fatal("switch lost state before retention expiry")
+	}
+	// ...and the residual expiry must close out the revert exactly.
+	rest := s.Expiry()
+	if math.IsInf(float64(rest), 1) {
+		t.Fatal("held switch reports +Inf expiry")
+	}
+	if !s.TickUnpowered(rest) {
+		t.Fatal("residual Expiry() tick did not revert")
+	}
+}
+
+// TestUnpoweredLeakKeepsActiveBanksSettled pins a settling bug the
+// chaos harness surfaced: connected banks share one terminal, so they
+// must stay at a common voltage while leaking during an outage. The
+// old TickUnpowered leaked each bank independently and only re-settled
+// after a revert, so banks with different leakage resistances drifted
+// apart — breaking the ActiveSet contract (base-bank voltage speaks
+// for the whole set) and the array's energy accounting.
+func TestUnpoweredLeakKeepsActiveBanksSettled(t *testing.T) {
+	a := newTestArray(NormallyOpen)
+	if err := a.Configure(0b111); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumBanks(); i++ {
+		a.Bank(i).SetVoltage(3.0)
+	}
+	// Well inside the retention window: no revert, just leakage. The
+	// small bank's ceramics/tantalums barely leak while the EDLCs do,
+	// so without re-settling the members diverge.
+	a.TickUnpowered(100)
+	if a.Reverts != 0 {
+		t.Fatalf("unexpected revert inside retention window: %d", a.Reverts)
+	}
+	v0 := a.Bank(0).Voltage()
+	for i := 1; i < a.NumBanks(); i++ {
+		if v := a.Bank(i).Voltage(); math.Abs(float64(v-v0)) > 1e-9 {
+			t.Fatalf("active banks diverged during unpowered leak: bank0=%v bank%d=%v", v0, i, v)
+		}
+	}
+}
+
+// TestLeakLossClosesEnergyBalance checks that LeakLoss (with ShareLoss)
+// accounts exactly for the energy an isolated array loses over time.
+func TestLeakLossClosesEnergyBalance(t *testing.T) {
+	a := newTestArray(NormallyOpen)
+	if err := a.Configure(0b111); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumBanks(); i++ {
+		a.Bank(i).SetVoltage(2.8)
+	}
+	total := func() units.Energy {
+		var e units.Energy
+		for i := 0; i < a.NumBanks(); i++ {
+			e += a.Bank(i).Energy()
+		}
+		return e
+	}
+	before := total()
+	share0, leak0 := a.ShareLoss, a.LeakLoss
+	for i := 0; i < 50; i++ {
+		a.TickUnpowered(10)
+	}
+	lost := float64(before - total())
+	accounted := float64(a.LeakLoss-leak0) + float64(a.ShareLoss-share0)
+	if !almostEqual(lost, accounted, 1e-9) {
+		t.Fatalf("energy books do not close: lost %v, accounted %v (leak %v share %v)",
+			lost, accounted, a.LeakLoss-leak0, a.ShareLoss-share0)
+	}
+	if a.LeakLoss <= leak0 {
+		t.Fatal("EDLC-backed array reported no leakage loss")
+	}
+}
+
+// TestChargeKeepsMixedRatingSetSettled is the multi-bank half of the
+// rated-ceiling charger bug (see power.TestChargeStopsAtRatedVoltage):
+// an active set with mixed ratings (ceramic 6.3 V + EDLC 3.6 V) must
+// charge as one electrically-connected store bounded by the lowest
+// rating. The old solver pushed the set past 3.6 V, the EDLC clamped
+// itself, and the "settled common voltage" contract the whole
+// reservoir model rests on was silently broken.
+func TestChargeKeepsMixedRatingSetSettled(t *testing.T) {
+	base := storage.MustBank("base", storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad))
+	big := storage.MustBank("big", storage.GroupOf(storage.EDLC, 9))
+	arr := NewArray(base, NormallyOpen, big)
+	if err := arr.Configure(0b11); err != nil {
+		t.Fatal(err)
+	}
+	set := arr.ActiveSet()
+
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 20 * units.MilliWatt, V: 3.0})
+	_, reached := sys.TimeToChargeTo(set, 5.0, 0, 100_000)
+	if reached {
+		t.Fatalf("solver claims 5 V reached on a set rated %v", set.RatedVoltage())
+	}
+	vb, vg := base.Voltage(), big.Voltage()
+	if math.Abs(float64(vb-vg)) > 1e-9 {
+		t.Fatalf("connected banks diverged: base=%v big=%v", vb, vg)
+	}
+	if vb > set.RatedVoltage()+1e-9 {
+		t.Fatalf("set charged above its lowest rating: %v > %v", vb, set.RatedVoltage())
+	}
+}

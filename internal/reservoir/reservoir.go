@@ -112,22 +112,33 @@ func (s *Switch) Replenish() {
 	}
 }
 
+// LatchVoltage returns the present latch-capacitor voltage (0 after a
+// revert or before the first programming).
+func (s *Switch) LatchVoltage() units.Voltage { return s.latchV }
+
 // TickUnpowered advances the latch leakage by dt with the device off.
-// If the latch drops below the hold voltage the switch reverts to its
-// default state. It reports whether a revert happened.
+// If retention runs out within dt the switch reverts to its default
+// state. It reports whether a revert happened.
+//
+// Expiry is decided by comparing dt against the remaining retention
+// span rather than by comparing the post-leak voltage against
+// HoldVoltage: the two are the same equation, but the span comparison
+// makes "tick exactly Expiry()" revert deterministically instead of
+// leaving the boundary to exp/log rounding luck.
 func (s *Switch) TickUnpowered(dt units.Seconds) bool {
 	if s.latchV <= 0 {
 		return false
 	}
-	s.latchV = units.LeakVoltageAfter(s.LatchCap, s.latchV, s.LatchLeak, dt)
-	if s.latchV < s.HoldVoltage {
+	if need := units.TimeToLeakTo(s.LatchCap, s.latchV, s.HoldVoltage, s.LatchLeak); dt >= need {
 		s.latchV = 0
 		def := s.Kind == NormallyClosed
 		if s.closed != def {
 			s.closed = def
 			return true
 		}
+		return false
 	}
+	s.latchV = units.LeakVoltageAfter(s.LatchCap, s.latchV, s.LatchLeak, dt)
 	return false
 }
 
@@ -138,22 +149,18 @@ func (s *Switch) Retention() units.Seconds {
 }
 
 // Expiry returns how long the latch holds its programmed state from its
-// present charge while unpowered: the time for the latch voltage to
-// decay below HoldVoltage. An already-reverted (or never-programmed)
-// latch returns +Inf — there is nothing left to expire. The returned
-// span is padded by a tiny relative epsilon so that ticking exactly
-// Expiry() is guaranteed to cross the hold threshold (TickUnpowered
-// reverts on a strict '<' comparison; leaking exactly onto HoldVoltage
-// would otherwise hold state forever).
+// present charge while unpowered: the exact time for the latch voltage
+// to decay to HoldVoltage. An already-reverted (or never-programmed)
+// latch returns +Inf — there is nothing left to expire. The value is
+// exact (no epsilon pad): TickUnpowered compares spans, so ticking
+// exactly Expiry() reverts at, not after, the retention limit — an
+// outage ending precisely at expiry finds the switch already in its
+// default state.
 func (s *Switch) Expiry() units.Seconds {
 	if s.latchV <= 0 {
 		return units.Seconds(math.Inf(1))
 	}
-	t := units.TimeToLeakTo(s.LatchCap, s.latchV, s.HoldVoltage, s.LatchLeak)
-	if math.IsInf(float64(t), 1) {
-		return t
-	}
-	return t + t*1e-9 + 1e-9
+	return units.TimeToLeakTo(s.LatchCap, s.latchV, s.HoldVoltage, s.LatchLeak)
 }
 
 // Characterization constants from the paper (§6.5, §5.2).
@@ -190,6 +197,10 @@ type Array struct {
 	// ShareLoss accumulates the energy dissipated by charge sharing
 	// across reconfigurations, for efficiency accounting.
 	ShareLoss units.Energy
+	// LeakLoss accumulates the energy self-discharged through the banks'
+	// leakage resistances. Together with ShareLoss it lets callers close
+	// the array's energy balance exactly.
+	LeakLoss units.Energy
 	// Reconfigurations counts switch programmings.
 	Reconfigurations int
 	// Reverts counts implicit reconfigurations caused by latch expiry.
@@ -333,7 +344,7 @@ func (a *Array) activeBanks() []*storage.Bank { return a.active }
 // continues and the replenishment circuit keeps the latches full.
 func (a *Array) TickPowered(dt units.Seconds) {
 	for _, b := range a.allBanks() {
-		b.Leak(dt)
+		a.LeakLoss += b.Leak(dt)
 	}
 	for _, s := range a.switches {
 		s.Replenish()
@@ -344,9 +355,12 @@ func (a *Array) TickPowered(dt units.Seconds) {
 // TickUnpowered advances dt of unpowered time: banks leak and latches
 // decay; expired switches revert to their default state, implicitly
 // reconfiguring the array (and charge-sharing if banks reconnect).
+// Connected banks re-settle even without a revert: they share one
+// terminal, so unequal leak rates drain the parallel combination
+// rather than letting the members drift apart.
 func (a *Array) TickUnpowered(dt units.Seconds) {
 	for _, b := range a.allBanks() {
-		b.Leak(dt)
+		a.LeakLoss += b.Leak(dt)
 	}
 	reverted := false
 	for _, s := range a.switches {
@@ -357,8 +371,8 @@ func (a *Array) TickUnpowered(dt units.Seconds) {
 	}
 	if reverted {
 		a.refreshActive()
-		a.settle()
 	}
+	a.settle()
 }
 
 // NextRevert returns how long until the earliest latch expiry reverts a

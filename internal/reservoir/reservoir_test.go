@@ -345,8 +345,9 @@ func TestSwitchExpiry(t *testing.T) {
 	if !almostEqual(float64(e), float64(s.Retention()), 1e-6) {
 		t.Fatalf("full-latch Expiry = %v, want ≈ Retention %v", e, s.Retention())
 	}
-	// Ticking exactly Expiry must cross the hold threshold and revert:
-	// the epsilon pad guards the strict '<' comparison in TickUnpowered.
+	// Ticking exactly Expiry must revert: TickUnpowered compares the
+	// elapsed span against the remaining retention, so the boundary is
+	// exact rather than left to exp/log rounding.
 	if !s.TickUnpowered(e) {
 		t.Fatalf("TickUnpowered(Expiry()) did not revert (latchV=%v)", s.latchV)
 	}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"capybara/internal/device"
+	"capybara/internal/harvest"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/units"
+)
+
+// TestDrainRevertLandsAtExpiryInstant pins a revert-timing bug the
+// chaos harness surfaced: a long load drain advances the array in one
+// passive span, and the old tickSpan applied latch expiry at the span
+// end — the revert (and the charge sharing it triggers) landed at the
+// wrong instant, and the event log recorded it there. tickSpan now
+// splits unpowered spans at NextRevert, so the revert fires exactly
+// when the latch retention runs out.
+func TestDrainRevertLandsAtExpiryInstant(t *testing.T) {
+	// A device with no harvestable input: every span is a true outage.
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: 0, V: 0})
+	arr := reservoir.NewArray(smallBank(), reservoir.NormallyOpen, bigBank())
+	d := NewDevice(sys, arr, device.MSP430FR5969())
+	d.Log = &EventLog{Max: 64}
+
+	// Pre-charge by hand (the source is dead) and connect the big bank.
+	for i := 0; i < arr.NumBanks(); i++ {
+		arr.Bank(i).SetVoltage(3.0)
+	}
+	if err := d.Configure(0b11); err != nil {
+		t.Fatal(err)
+	}
+	expiry := d.Now() + arr.NextRevert()
+
+	// One long sleep that straddles the latch expiry: the NO switch
+	// must revert mid-span, at the expiry instant.
+	d.Sleep(arr.NextRevert() + 60)
+
+	var revert *Event
+	for _, e := range d.Log.Events() {
+		if e.Kind == EventRevert {
+			ev := e
+			revert = &ev
+			break
+		}
+	}
+	if revert == nil {
+		t.Fatalf("no revert logged during a %v outage (retention ≈ %v)", d.Now(), expiry)
+	}
+	if diff := math.Abs(float64(revert.T - expiry)); diff > 1e-6 {
+		t.Fatalf("revert logged at %v, want expiry instant %v (Δ %v)", revert.T, expiry, units.Seconds(diff))
+	}
+	if got := arr.ActiveMask(); got != 0b01 {
+		t.Fatalf("big bank still connected after revert: mask %#b", got)
+	}
+}
+
+// sliverSource is a constant supply whose Stepped horizon degenerates
+// near edge the way PWM traces do in practice: phase arithmetic is
+// exact while absolute time is not, so close to an edge the promised
+// constancy span drops below one ULP of the clock. Any positive return
+// is contract-legal (the output really is constant), but advancing the
+// clock by a sub-ULP span leaves it bit-identical.
+type sliverSource struct {
+	harvest.RegulatedSupply
+	edge units.Seconds
+}
+
+func (s sliverSource) NextChange(t units.Seconds) units.Seconds {
+	switch {
+	case t < s.edge-1e-13:
+		return s.edge - 1e-13 - t
+	case t < s.edge:
+		return 1e-15 // sub-ULP sliver: t + 1e-15 == t at t ≈ 92
+	default:
+		return harvest.Forever
+	}
+}
+
+// TestChargeToSurvivesSubULPHorizons pins a Zeno stall the chaos
+// harness surfaced: the event-driven charge loop advanced by exactly
+// the source's promised horizon, and a horizon smaller than one ULP of
+// the simulated clock (PWM traces emit these near their edges) left
+// d.now bit-identical — the loop spun forever. Horizons are now
+// floored at units.MinAdvance.
+func TestChargeToSurvivesSubULPHorizons(t *testing.T) {
+	src := sliverSource{
+		RegulatedSupply: harvest.RegulatedSupply{Max: 10 * units.MilliWatt, V: 3.0},
+		edge:            92.0,
+	}
+	arr := reservoir.NewArray(smallBank(), reservoir.NormallyOpen)
+	d := NewDevice(power.NewSystem(src), arr, device.MSP430FR5969())
+	d.Array.Bank(0).SetVoltage(2.0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Straddle the degenerate edge; pre-fix this never returns.
+		d.AdvanceOff(91.9999)
+		d.ChargeTo(2.4, 1.0)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("charge loop stalled on a sub-ULP source horizon")
+	}
+	if d.Now() < 92.0 {
+		t.Fatalf("clock failed to cross the degenerate edge: %v", d.Now())
+	}
+}

@@ -134,6 +134,9 @@ type Device struct {
 	// Log, when non-nil, records a timeline of boots, brownouts,
 	// reconfigurations, reverts, and charge completions.
 	Log *EventLog
+	// Obs, when non-nil, receives fine-grained simulator callbacks
+	// (see Observer); used by the chaos harness.
+	Obs Observer
 
 	Stats Stats
 	now   units.Seconds
@@ -160,32 +163,55 @@ func (d *Device) Configure(mask uint64) error {
 	if d.Log != nil {
 		d.Log.add(d.now, EventReconfig, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
 	}
-	// Programming the latch through the GPIO interface: ~1 ms active.
 	if !d.Continuous {
+		v := d.Store().Voltage()
+		d.observe(HookReconfig, d.now, d.now, v, v, true)
+		// Programming the latch through the GPIO interface: ~1 ms active.
 		d.Drain(d.MCU.ActivePower, 1*units.Millisecond)
 	}
 	return nil
 }
-
-// tick advances the array's passive state for dt. The latch
-// replenishment circuit works whenever input power is present, even
-// with the processor off (§5.2).
-func (d *Device) tick(dt units.Seconds) { d.tickSpan(d.now, dt) }
 
 // tickSpan advances the array's passive state for the span of length
 // dt that started at t0, deciding powered-ness from the span start:
 // event-driven segments are aligned to source changes, so the output
 // at t0 is the output for the whole span (sampling at the segment end
 // would misread the instant the *next* segment begins).
+//
+// Unpowered spans are split at latch expiries so each revert (and the
+// charge sharing it triggers) lands at its expiry instant rather than
+// at the span end. Event-driven callers already bound their segments
+// by NextRevert, but paths that tick a whole load drain in one span
+// (Drain) would otherwise leak the post-revert configuration for the
+// wrong duration. Exponential latch and bank decay compose exactly
+// across the split, so only the revert timing changes.
 func (d *Device) tickSpan(t0, dt units.Seconds) {
 	if d.Sys.Source.PowerAt(t0) > 0 {
 		d.Array.TickPowered(dt)
 		return
 	}
-	before := d.Array.Reverts
-	d.Array.TickUnpowered(dt)
-	if d.Log != nil && d.Array.Reverts > before {
-		d.Log.add(d.now, EventRevert, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+	for {
+		step := dt
+		if nr := d.Array.NextRevert(); nr < step {
+			step = nr
+		}
+		before := d.Array.Reverts
+		d.Array.TickUnpowered(step)
+		t0 += step
+		dt -= step
+		reverted := d.Array.Reverts > before
+		if d.Log != nil && reverted {
+			d.Log.add(t0, EventRevert, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+		}
+		if dt <= 0 {
+			return
+		}
+		if step == 0 && !reverted {
+			// Defensive: an expiry that cannot fire must not stall the
+			// split loop; take the rest of the span in one tick.
+			d.Array.TickUnpowered(dt)
+			return
+		}
 	}
 }
 
@@ -204,17 +230,19 @@ func (d *Device) Drain(loadPower units.Power, dt units.Seconds) (units.Seconds, 
 		return dt, true
 	}
 	set := d.Store()
+	start, v0 := d.now, set.Voltage()
 	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
 	sustained, ok := d.Sys.Discharge(set, loadPower, dt)
 	d.now += sustained
 	d.Stats.TimeOn += sustained
 	d.Stats.EnergyDrawn += units.Energy(float64(d.Sys.StoreDraw(loadPower)) * float64(sustained))
-	d.tick(sustained)
+	d.tickSpan(start, sustained)
 	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
 	if !ok {
 		d.Stats.Brownouts++
 		d.Log.add(d.now, EventBrownout, "")
 	}
+	d.observe(HookDrain, start, d.now, v0, set.Voltage(), ok)
 	return sustained, ok
 }
 
@@ -254,6 +282,12 @@ func (d *Device) chargeHorizon(remain units.Seconds) units.Seconds {
 			step = density
 		}
 	}
+	// A horizon shorter than one ULP of the clock cannot advance time
+	// (sub-ULP constancy slivers near PWM edges); round up so the loop
+	// always makes progress.
+	if m := units.MinAdvance(d.now); step < m {
+		step = m
+	}
 	return step
 }
 
@@ -289,7 +323,8 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 		// old fixed-step loop reused a stale flag when the source cut
 		// out mid-charge, counting dead air as TimeCharging.)
 		start := d.now
-		charging := d.Sys.ChargePower(set.Voltage(), start) > 0
+		v0 := set.Voltage()
+		charging := d.Sys.ChargePower(v0, start) > 0
 		before := set.Energy()
 		used, reached := d.Sys.TimeToChargeTo(set, target, start, step)
 		if gained := set.Energy() - before; gained > 0 {
@@ -303,10 +338,15 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 			d.Stats.TimeOff += used
 		}
 		d.Trace.record(d.now, set.Voltage(), PhaseCharging)
+		// The charge segment is observed before the passive tick: V0→V1
+		// is the pure analytic charge trajectory, which is what the
+		// chaos harness cross-checks numerically.
+		d.observe(HookChargeSegment, start, d.now, v0, set.Voltage(), reached)
 		// Success is decided before the passive tick: the voltage
 		// supervisor boots the device the instant the threshold is hit;
 		// the leakage within the same step is immaterial.
 		d.tickSpan(start, used)
+		d.observe(HookSpan, start, d.now, v0, set.Voltage(), true)
 		if reached {
 			d.Trace.record(d.now, set.Voltage(), PhaseCharging)
 			if d.Log != nil {
@@ -323,6 +363,10 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 func (d *Device) Boot() bool {
 	d.Stats.Boots++
 	d.Log.add(d.now, EventBoot, "")
+	if !d.Continuous {
+		v := d.Store().Voltage()
+		d.observe(HookBoot, d.now, d.now, v, v, true)
+	}
 	_, ok := d.Drain(d.MCU.ActivePower, d.MCU.BootTime)
 	return ok
 }
@@ -350,10 +394,17 @@ func (d *Device) AdvanceOff(dt units.Seconds) {
 				step = nr
 			}
 		}
+		// Same progress guarantee as chargeHorizon: never step by less
+		// than the clock can represent.
+		if m := units.MinAdvance(d.now); step < m {
+			step = m
+		}
 		start := d.now
+		v0 := d.Store().Voltage()
 		d.now += step
 		d.Stats.TimeOff += step
 		d.tickSpan(start, step)
+		d.observe(HookSpan, start, d.now, v0, d.Store().Voltage(), true)
 		dt -= step
 	}
 }

@@ -239,12 +239,17 @@ func (b *Bank) Discharge(p units.Power, dt units.Seconds, floor units.Voltage) (
 	return sustain, ErrDepleted
 }
 
-// Leak self-discharges the bank for dt through its leakage resistance.
-func (b *Bank) Leak(dt units.Seconds) {
+// Leak self-discharges the bank for dt through its leakage resistance
+// and returns the energy dissipated, so callers can close the energy
+// balance (leaked energy is the one loss term that otherwise leaves the
+// books silently).
+func (b *Bank) Leak(dt units.Seconds) units.Energy {
 	if b.leakR <= 0 || b.voltage <= 0 {
-		return
+		return 0
 	}
+	before := b.Energy()
 	b.voltage = units.LeakVoltageAfter(b.cap, b.voltage, b.leakR, dt)
+	return before - b.Energy()
 }
 
 // Cycles returns the number of deep-discharge cycles the bank has

@@ -161,6 +161,23 @@ func LeakVoltageAfter(c Capacitance, v0 Voltage, r Resistance, dt Seconds) Volta
 	return Voltage(float64(v0) * math.Exp(-float64(dt)/(float64(r)*float64(c))))
 }
 
+// MinAdvance returns the smallest span by which simulated time t can
+// advance to a strictly later float64 instant (one ULP of t, floored at
+// a femtosecond near zero). Event-driven loops must round horizons up
+// to this: a stepped source is free to promise constancy for a sliver
+// shorter than one ULP of the current clock (PWM traces do, near their
+// edges, because phase arithmetic is exact while absolute time is not),
+// and advancing by such a sliver leaves the clock bit-identical — a
+// Zeno stall. Rounding up crosses the sliver by at most one ULP of
+// physically meaningless time.
+func MinAdvance(t Seconds) Seconds {
+	d := Seconds(math.Nextafter(float64(t), math.Inf(1))) - t
+	if d < 1e-15 {
+		d = 1e-15
+	}
+	return d
+}
+
 // TimeToLeakTo returns how long capacitance c with leakage resistance r
 // takes to self-discharge from v0 down to v1. It returns 0 when
 // v0 ≤ v1, and +Inf for an ideal capacitor (r ≤ 0) or v1 ≤ 0.
