@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench targets.
 SHELL := /bin/bash
 
-.PHONY: build test vet race bench bench-short chaos fuzz-smoke verify
+.PHONY: build test vet race bench bench-short bench-compare chaos fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,22 @@ bench:
 # keep BENCH_sim.json parseable and the trajectory fresh.
 bench-short:
 	set -o pipefail; $(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Perf-regression gate: stash the committed trajectory, regenerate it
+# with the short benchmarks, then diff ns/op per benchmark. Exits 1 if
+# anything regressed past BENCH_THRESHOLD (a fraction; 1x-iteration
+# short runs are noisy, so the default gate is deliberately loose —
+# it catches cliffs, not percent drift). Benchmarks under BENCH_MIN
+# old-ns/op are reported but never fail: at one iteration a
+# microsecond-scale benchmark measures scheduler noise, not the code.
+# Added and removed benchmarks are likewise informational only.
+BENCH_THRESHOLD ?= 1.0
+BENCH_MIN ?= 1000000
+bench-compare:
+	cp BENCH_sim.json BENCH_sim.base.json
+	$(MAKE) bench-short
+	status=0; $(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) -min $(BENCH_MIN) BENCH_sim.base.json BENCH_sim.json || status=$$?; \
+	rm -f BENCH_sim.base.json; exit $$status
 
 # Fault-injection sweep: seeded trials with harvester outages injected
 # at adversarial instants and the physics-invariant registry checked

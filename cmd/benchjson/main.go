@@ -11,6 +11,19 @@
 // records ns/op, B/op, allocs/op, and any custom ReportMetric series
 // (e.g. Figure 8's accuracy metrics) per benchmark, plus the cpu and
 // goos/goarch context lines go test prints.
+//
+// Compare mode gates two trajectory files against each other:
+//
+//	benchjson -compare [-threshold 0.25] old.json new.json
+//
+// It prints a per-benchmark ns/op delta table and exits 1 if any
+// benchmark present in both files regressed by more than the threshold
+// (a fraction: 0.25 means "25% slower fails"). Added and removed
+// benchmarks are reported but never fail the gate — coverage changes
+// are a review question, not a perf regression. Benchmarks whose old
+// ns/op is below -min are likewise reported but never fail: at one
+// iteration a microsecond-scale benchmark's timing is dominated by
+// scheduling noise, not by the code under test.
 package main
 
 import (
@@ -18,7 +31,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,7 +57,26 @@ type File struct {
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file")
+	compare := flag.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.25, "ns/op regression fraction that fails -compare (0.25 = 25% slower)")
+	minNs := flag.Float64("min", 0, "old ns/op below this never fails -compare (noise floor for short runs)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *minNs, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	file, err := parse(os.Stdin, os.Stdout)
 	if err == nil {
@@ -52,6 +86,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare loads two trajectory files and renders the ns/op delta
+// table. It returns true when any benchmark present in both files is
+// slower in new by more than threshold (and above the minNs noise
+// floor).
+func runCompare(oldPath, newPath string, threshold, minNs float64, w io.Writer) (bool, error) {
+	oldFile, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newFile, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	return diff(oldFile, newFile, threshold, minNs, w), nil
+}
+
+// diff writes the comparison table and reports whether the gate fails.
+// Benchmarks are keyed by name; ordering follows the new file so the
+// table tracks the current benchmark suite.
+func diff(oldFile, newFile *File, threshold, minNs float64, w io.Writer) bool {
+	old := make(map[string]Result, len(oldFile.Benchmarks))
+	for _, r := range oldFile.Benchmarks {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := false
+	seen := make(map[string]bool, len(newFile.Benchmarks))
+	for _, r := range newFile.Benchmarks {
+		seen[r.Name] = true
+		prev, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s\n", r.Name, "-", r.NsPerOp, "added")
+			continue
+		}
+		if prev.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-32s %14.0f %14.0f %9s\n", r.Name, prev.NsPerOp, r.NsPerOp, "n/a")
+			continue
+		}
+		delta := r.NsPerOp/prev.NsPerOp - 1
+		mark := ""
+		switch {
+		case delta > threshold && prev.NsPerOp < minNs:
+			mark = "  (noise floor)"
+		case delta > threshold:
+			mark = "  FAIL"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%%s\n", r.Name, prev.NsPerOp, r.NsPerOp, 100*delta, mark)
+	}
+	var removed []string
+	for name := range old {
+		if !seen[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-32s %14.0f %14s %9s\n", name, old[name].NsPerOp, "-", "removed")
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: ns/op regression above %.0f%% threshold\n", 100*threshold)
+	}
+	return regressed
+}
+
+// load reads a trajectory file written by a previous benchjson run.
+func load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	file := &File{}
+	if err := json.Unmarshal(b, file); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return file, nil
 }
 
 func parse(in *os.File, echo *os.File) (*File, error) {

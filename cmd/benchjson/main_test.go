@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name string, f *File) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareGate exercises the regression gate end to end: within
+// threshold passes, above threshold fails, and added/removed
+// benchmarks are reported without failing.
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json", &File{Benchmarks: []Result{
+		{Name: "Fleet", NsPerOp: 1000},
+		{Name: "Figure8", NsPerOp: 500},
+		{Name: "Retired", NsPerOp: 42},
+	}})
+
+	// 10% slower is within a 25% threshold; a brand-new benchmark and a
+	// removed one are informational only.
+	okPath := writeFile(t, dir, "ok.json", &File{Benchmarks: []Result{
+		{Name: "Fleet", NsPerOp: 1100},
+		{Name: "Figure8", NsPerOp: 400},
+		{Name: "Brand", NsPerOp: 7},
+	}})
+	var out bytes.Buffer
+	regressed, err := runCompare(oldPath, okPath, 0.25, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("10%% delta failed a 25%% gate:\n%s", out.String())
+	}
+	for _, want := range []string{"added", "removed", "Retired", "Brand"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// 60% slower fails the same gate and names the offender.
+	badPath := writeFile(t, dir, "bad.json", &File{Benchmarks: []Result{
+		{Name: "Fleet", NsPerOp: 1600},
+		{Name: "Figure8", NsPerOp: 500},
+	}})
+	out.Reset()
+	regressed, err = runCompare(oldPath, badPath, 0.25, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("60%% regression passed a 25%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("failing table has no FAIL marker:\n%s", out.String())
+	}
+
+	// The same delta passes a looser gate.
+	out.Reset()
+	regressed, err = runCompare(oldPath, badPath, 0.75, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("60%% regression failed a 75%% gate:\n%s", out.String())
+	}
+}
+
+// TestCompareThresholdBoundary: the gate is strictly "worse than
+// threshold" — exactly-at-threshold passes, one part in a thousand
+// beyond fails.
+func TestCompareThresholdBoundary(t *testing.T) {
+	oldFile := &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1000}}}
+	var out bytes.Buffer
+	if diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1250}}}, 0.25, 0, &out) {
+		t.Fatal("exactly-at-threshold delta failed")
+	}
+	if !diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1260}}}, 0.25, 0, &out) {
+		t.Fatal("above-threshold delta passed")
+	}
+}
+
+// TestCompareNoiseFloor: above-threshold deltas on benchmarks whose old
+// ns/op is under -min are reported but never fail — at one iteration a
+// microsecond-scale benchmark's timing is scheduling noise. Benchmarks
+// at or above the floor still gate.
+func TestCompareNoiseFloor(t *testing.T) {
+	oldFile := &File{Benchmarks: []Result{
+		{Name: "Tiny", NsPerOp: 1_000},
+		{Name: "Big", NsPerOp: 10_000_000},
+	}}
+	newFile := &File{Benchmarks: []Result{
+		{Name: "Tiny", NsPerOp: 5_000}, // +400%, under the floor
+		{Name: "Big", NsPerOp: 11_000_000},
+	}}
+	var out bytes.Buffer
+	if diff(oldFile, newFile, 0.25, 1_000_000, &out) {
+		t.Fatalf("sub-floor regression failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "noise floor") {
+		t.Fatalf("sub-floor regression not annotated:\n%s", out.String())
+	}
+
+	// The same floor does not shield a benchmark at/above it.
+	newFile.Benchmarks[1].NsPerOp = 20_000_000
+	out.Reset()
+	if !diff(oldFile, newFile, 0.25, 1_000_000, &out) {
+		t.Fatalf("above-floor regression passed:\n%s", out.String())
+	}
+}
+
+// TestCompareMissingFile: unreadable inputs are an error, not a pass.
+func TestCompareMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	real := writeFile(t, dir, "real.json", &File{})
+	var out bytes.Buffer
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), real, 0.25, 0, &out); err == nil {
+		t.Fatal("missing old file accepted")
+	}
+	if _, err := runCompare(real, filepath.Join(dir, "absent.json"), 0.25, 0, &out); err == nil {
+		t.Fatal("missing new file accepted")
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(garbled, real, 0.25, 0, &out); err == nil {
+		t.Fatal("garbled old file accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Capyfleet simulates a fleet of independent Capybara devices —
+// heterogeneous application/variant/environment cohorts, one seeded
+// Poisson schedule per device — and prints fleet-level statistics.
+//
+// Usage:
+//
+//	capyfleet -n 10000 [-seed S] [-jobs N] [-scale F] [-json] [-o FILE]
+//	          [-memo=false] [-cache N] [-recycle=false]
+//	          [-cpuprofile F] [-memprofile F]
+//
+// The report (CSV by default, -json for JSON) is a pure function of
+// (-n, -seed, -scale): it is byte-identical at any -jobs and with the
+// charge-solve memo cache on or off. Throughput and cache-effectiveness
+// diagnostics go to stderr — they depend on scheduling and wall clock,
+// so they are deliberately not part of the report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"capybara/internal/fleet"
+	"capybara/internal/prof"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of devices")
+	seed := flag.Int64("seed", 1, "fleet seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers (1 forces the serial path)")
+	scale := flag.Float64("scale", 1.0, "event-count scale per device in (0, 1]")
+	asJSON := flag.Bool("json", false, "emit JSON instead of CSV")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	memo := flag.Bool("memo", true, "enable per-worker charge-solve memoization")
+	cacheSize := flag.Int("cache", 0, "memo cache entries per worker (0 = default)")
+	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	flag.Parse()
+
+	stop, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fail(err)
+	}
+	err = run(*n, *seed, *jobs, *scale, *asJSON, *out, !*memo, *cacheSize, !*recycle)
+	stop()
+	if err == nil {
+		err = prof.WriteHeap(*memProfile)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "capyfleet:", err)
+	os.Exit(1)
+}
+
+func run(n int, seed int64, jobs int, scale float64, asJSON bool, out string, noMemo bool, cacheSize int, noRecycle bool) error {
+	res, err := fleet.Run(context.Background(), fleet.Config{
+		N:         n,
+		Seed:      seed,
+		Jobs:      jobs,
+		Scale:     scale,
+		NoMemo:    noMemo,
+		CacheSize: cacheSize,
+		NoRecycle: noRecycle,
+	})
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if asJSON {
+		err = res.WriteJSON(w)
+	} else {
+		err = res.WriteCSV(w)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, res.Diagnostics())
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEndToEnd exercises the CLI path: CSV and JSON reports land in
+// the output file, and the bytes are identical across worker counts and
+// with the memo disabled (the CLI-level view of the engine's
+// determinism guarantee).
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(name string, jobs int, asJSON, noMemo bool) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := run(48, 7, jobs, 0.05, asJSON, path, noMemo, 0, false); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s: empty report", name)
+		}
+		return string(b)
+	}
+
+	csv1 := emit("j1.csv", 1, false, false)
+	csv4 := emit("j4.csv", 4, false, false)
+	if csv1 != csv4 {
+		t.Fatal("CSV differs between -jobs 1 and -jobs 4")
+	}
+	csvNoMemo := emit("nomemo.csv", 2, false, true)
+	if csv1 != csvNoMemo {
+		t.Fatal("CSV differs with -memo=false")
+	}
+	js1 := emit("j1.json", 1, true, false)
+	js4 := emit("j4.json", 4, true, false)
+	if js1 != js4 {
+		t.Fatal("JSON differs between -jobs 1 and -jobs 4")
+	}
+
+	if err := run(0, 1, 1, 1, false, "", false, 0, false); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run(1, 1, 1, 5, false, "", false, 0, false); err == nil {
+		t.Fatal("scale 5 accepted")
+	}
+}

@@ -69,7 +69,7 @@ func run(app, system string, events int, mean float64, seed int64, tracePath str
 	if tracePath != "" {
 		trace = &sim.Trace{MinInterval: 0.1}
 	}
-	r, err := spec.Build(variant, sched, trace)
+	r, err := spec.Build(variant, sched, trace, nil)
 	if err != nil {
 		return err
 	}

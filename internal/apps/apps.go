@@ -172,14 +172,27 @@ const (
 // buildConfig assembles the per-variant platform configuration. Fixed
 // and Continuous use a single statically-provisioned bank (modes map to
 // the base bank); the Capybara variants get a switched big bank.
+//
+// When a Scratch is supplied the instance uses exactly scr.Memo as its
+// charge-solve cache (nil disables memoization): the scratch owner —
+// typically a fleet worker sharing one cache across its devices —
+// controls caching fully, and the default per-instance cache is never
+// allocated.
 func buildConfig(variant core.Variant, src harvest.Source,
-	fixed, small, big *storage.Bank, trace *sim.Trace) core.Config {
+	fixed, small, big *storage.Bank, trace *sim.Trace, scr *Scratch) core.Config {
 	cfg := core.Config{
 		Variant:    variant,
 		Source:     src,
 		MCU:        device.MSP430FR5969(),
 		SwitchKind: reservoir.NormallyOpen,
 		Trace:      trace,
+	}
+	if scr != nil {
+		if scr.Memo != nil {
+			cfg.Memo = scr.Memo
+		} else {
+			cfg.NoMemo = true
+		}
 	}
 	switch variant {
 	case core.Continuous, core.Fixed:
@@ -212,8 +225,10 @@ type Spec struct {
 	Window units.Seconds
 	// Horizon is the experiment duration.
 	Horizon units.Seconds
-	// Build constructs a run for the variant and schedule.
-	Build func(v core.Variant, sched env.Schedule, trace *sim.Trace) (*Run, error)
+	// Build constructs a run for the variant and schedule. A non-nil
+	// scr recycles the run's state containers and memo cache (see
+	// Scratch); nil allocates fresh.
+	Build func(v core.Variant, sched env.Schedule, trace *sim.Trace, scr *Scratch) (*Run, error)
 }
 
 // Specs returns all four application specs keyed by name.
@@ -221,27 +236,23 @@ func Specs() map[string]Spec {
 	specs := map[string]Spec{
 		"TempAlarm": {
 			Name: "TempAlarm", Events: 50, Mean: 144, Window: 60, Horizon: 120 * units.Minute,
-			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace) (*Run, error) {
-				return NewTA(v, s, tr)
-			},
+			Build: NewTA,
 		},
 		"GestureFast": {
 			Name: "GestureFast", Events: 80, Mean: 31.5, Window: 1, Horizon: 42 * units.Minute,
-			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace) (*Run, error) {
-				return NewGRC(v, true, s, tr)
+			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace, scr *Scratch) (*Run, error) {
+				return NewGRC(v, true, s, tr, scr)
 			},
 		},
 		"GestureCompact": {
 			Name: "GestureCompact", Events: 80, Mean: 31.5, Window: 1, Horizon: 42 * units.Minute,
-			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace) (*Run, error) {
-				return NewGRC(v, false, s, tr)
+			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace, scr *Scratch) (*Run, error) {
+				return NewGRC(v, false, s, tr, scr)
 			},
 		},
 		"CorrSense": {
 			Name: "CorrSense", Events: 80, Mean: 31.5, Window: 1, Horizon: 42 * units.Minute,
-			Build: func(v core.Variant, s env.Schedule, tr *sim.Trace) (*Run, error) {
-				return NewCSR(v, s, tr)
-			},
+			Build: NewCSR,
 		},
 	}
 	return specs

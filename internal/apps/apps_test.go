@@ -19,7 +19,7 @@ func shortSchedule(spec Spec, n int) env.Schedule {
 
 func mustRun(t *testing.T, spec Spec, v core.Variant, sched env.Schedule) *Run {
 	t.Helper()
-	run, err := spec.Build(v, sched, nil)
+	run, err := spec.Build(v, sched, nil, nil)
 	if err != nil {
 		t.Fatalf("%s/%v build: %v", spec.Name, v, err)
 	}
@@ -190,7 +190,7 @@ func TestGapAnalysisShapes(t *testing.T) {
 func TestTraceCapture(t *testing.T) {
 	spec, _ := SpecByName("TempAlarm")
 	tr := &sim.Trace{MinInterval: 1}
-	run, err := spec.Build(core.Fixed, shortSchedule(spec, 4), tr)
+	run, err := spec.Build(core.Fixed, shortSchedule(spec, 4), tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

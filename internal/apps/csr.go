@@ -20,8 +20,8 @@ const csrDistanceSamples = 32
 // the pendulum; on a field event the report task collects 32 distance
 // samples with the proximity sensor, lights the LED for 250 ms, and
 // sends an 8-byte BLE packet — all in one atomic burst.
-func NewCSR(variant core.Variant, sched env.Schedule, trace *sim.Trace) (*Run, error) {
-	rec := &metrics.Recorder{}
+func NewCSR(variant core.Variant, sched env.Schedule, trace *sim.Trace, scr *Scratch) (*Run, error) {
+	rec := scratchRecorder(scr)
 	mag := device.Magnetometer()
 	prox := device.ProximitySensor()
 	led := device.LED()
@@ -78,7 +78,7 @@ func NewCSR(variant core.Variant, sched env.Schedule, trace *sim.Trace) (*Run, e
 		},
 	}
 
-	cfg := buildConfig(variant, grcSupply(), csrFixedBank(), csrSmallBank(), csrBigBank(), trace)
+	cfg := buildConfig(variant, grcSupply(), csrFixedBank(), csrSmallBank(), csrBigBank(), trace, scr)
 	prog := task.MustProgram("sample", sample, report)
 	inst, err := core.New(cfg, prog)
 	if err != nil {

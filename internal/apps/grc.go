@@ -21,11 +21,11 @@ import (
 // joined atomic task (larger peak energy, no recharge between them); in
 // the Compact variant they are separate tasks on a tighter burst bank,
 // so the transmission sometimes pays a recharge.
-func NewGRC(variant core.Variant, fast bool, sched env.Schedule, trace *sim.Trace) (*Run, error) {
+func NewGRC(variant core.Variant, fast bool, sched env.Schedule, trace *sim.Trace, scr *Scratch) (*Run, error) {
 	pend := env.NewPendulum(sched)
 	pend.FlakyEvery = 10 // intrinsic APDS decode-failure rate
 
-	rec := &metrics.Recorder{}
+	rec := scratchRecorder(scr)
 	photo := device.Phototransistor()
 	apds := device.APDS9960()
 	radio := device.CC2650()
@@ -146,7 +146,7 @@ func NewGRC(variant core.Variant, fast bool, sched env.Schedule, trace *sim.Trac
 	if !fast {
 		big = grcCompactBigBank()
 	}
-	cfg := buildConfig(variant, grcSupply(), grcFixedBank(), grcSmallBank(), big, trace)
+	cfg := buildConfig(variant, grcSupply(), grcFixedBank(), grcSmallBank(), big, trace, scr)
 	prog := task.MustProgram("sense", tasks...)
 	inst, err := core.New(cfg, prog)
 	if err != nil {

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"capybara/internal/core"
+	"capybara/internal/power"
+)
+
+// TestScratchReuseIdentical is the recycling soundness property the
+// fleet engine depends on: running every application through one dirty,
+// repeatedly-Reset Scratch (with a shared memo cache, like a fleet
+// worker) yields exactly the observables of fresh allocation.
+func TestScratchReuseIdentical(t *testing.T) {
+	scr := &Scratch{Memo: power.NewSegmentCache(0)}
+	for round := 0; round < 2; round++ { // round 1 reuses dirty state
+		for _, name := range SpecNames() {
+			spec, _ := SpecByName(name)
+			sched := shortSchedule(spec, 6)
+			for _, v := range []core.Variant{core.Fixed, core.CapyR, core.CapyP} {
+				fresh := mustRun(t, spec, v, sched)
+
+				scr.Reset()
+				run, err := spec.Build(v, sched, nil, scr)
+				if err != nil {
+					t.Fatalf("%s/%v scratch build: %v", name, v, err)
+				}
+				if run.Rec != &scr.Rec {
+					t.Fatalf("%s/%v: scratch recorder not wired in", name, v)
+				}
+				if run.Inst.Dev.Sys.Memo != scr.Memo {
+					t.Fatalf("%s/%v: scratch memo cache not wired in", name, v)
+				}
+				if err := run.Execute(); err != nil {
+					t.Fatalf("%s/%v scratch execute: %v", name, v, err)
+				}
+
+				if got, want := run.Accuracy(), fresh.Accuracy(); got != want {
+					t.Errorf("%s/%v round %d: accuracy %+v, fresh %+v", name, v, round, got, want)
+				}
+				if got, want := run.Rec.Latencies(), fresh.Rec.Latencies(); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%v round %d: latencies %v, fresh %v", name, v, round, got, want)
+				}
+				if got, want := run.Rec.Samples(), fresh.Rec.Samples(); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%v round %d: %d samples vs fresh %d", name, v, round, len(got), len(want))
+				}
+			}
+		}
+	}
+	if st := scr.Memo.Stats(); st.Hits == 0 {
+		t.Error("shared memo cache saw no hits across reused runs")
+	}
+}
+
+// TestScratchNilMemoDisables checks the other half of the contract:
+// a Scratch with no cache builds an instance with memoization off.
+func TestScratchNilMemoDisables(t *testing.T) {
+	spec, _ := SpecByName("TempAlarm")
+	scr := &Scratch{}
+	run, err := spec.Build(core.CapyR, shortSchedule(spec, 2), nil, scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Inst.Dev.Sys.Memo != nil {
+		t.Fatal("nil-Memo scratch still attached a cache")
+	}
+}

@@ -22,9 +22,9 @@ const taSeriesLen = 15
 // hands off to the alarm task, which transmits a 25-byte BLE packet
 // containing the series. Under Capy-P the alarm's bank is pre-charged
 // by the sample task's preburst annotation.
-func NewTA(variant core.Variant, sched env.Schedule, trace *sim.Trace) (*Run, error) {
+func NewTA(variant core.Variant, sched env.Schedule, trace *sim.Trace, scr *Scratch) (*Run, error) {
 	plant := env.NewThermal(sched)
-	rec := &metrics.Recorder{}
+	rec := scratchRecorder(scr)
 	tmp := device.TMP36()
 	radio := device.CC2650()
 
@@ -81,7 +81,7 @@ func NewTA(variant core.Variant, sched env.Schedule, trace *sim.Trace) (*Run, er
 		},
 	}
 
-	cfg := buildConfig(variant, taSupply(), taFixedBank(), taSmallBank(), taBigBank(), trace)
+	cfg := buildConfig(variant, taSupply(), taFixedBank(), taSmallBank(), taBigBank(), trace, scr)
 	prog := task.MustProgram("sample", sample, alarm)
 	inst, err := core.New(cfg, prog)
 	if err != nil {

@@ -72,7 +72,7 @@ func RunMatrixParallel(ctx context.Context, seed int64, frac float64, jobs int) 
 		c := cells[i]
 		n := scaledEvents(c.spec.Events, frac)
 		sched := env.Poisson(rand.New(rand.NewSource(seed)), n, c.spec.Mean, c.spec.Window)
-		run, err := c.spec.Build(c.variant, sched, nil)
+		run, err := c.spec.Build(c.variant, sched, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: build %s/%v: %w", c.name, c.variant, err)
 		}

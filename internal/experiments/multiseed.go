@@ -51,7 +51,7 @@ func MultiSeedParallel(ctx context.Context, app string, variants []core.Variant,
 			v := variants[i/len(seeds)]
 			seed := seeds[i%len(seeds)]
 			sched := env.Poisson(rand.New(rand.NewSource(seed)), n, spec.Mean, spec.Window)
-			run, err := spec.Build(v, sched, nil)
+			run, err := spec.Build(v, sched, nil, nil)
 			if err != nil {
 				return 0, err
 			}

@@ -82,7 +82,7 @@ func Figure10Ctx(ctx context.Context, cfg Fig10Config) ([]Fig10Point, error) {
 			mean := cfg.Means[i/len(cfg.Variants)]
 			v := cfg.Variants[i%len(cfg.Variants)]
 			sched := env.Poisson(rand.New(rand.NewSource(cfg.Seed)), cfg.Events, mean, spec.Window)
-			run, err := spec.Build(v, sched, nil)
+			run, err := spec.Build(v, sched, nil, nil)
 			if err != nil {
 				return Fig10Point{}, err
 			}

@@ -1,0 +1,415 @@
+// Package fleet runs large populations of independent Capybara device
+// lifecycles — heterogeneous application/variant/environment cohorts,
+// one seeded schedule per device — and reports fleet-level statistics
+// without retaining per-device state.
+//
+// Three performance layers keep per-device cost at simulation, not
+// construction or retention:
+//
+//   - charge-solve memoization: each worker owns a power.SegmentCache
+//     (recycled through a sync.Pool) shared by every device it
+//     simulates, so the periodic charge segments a cohort revisits are
+//     solved once and replayed bit-identically;
+//   - shared immutable artifacts: cohort environment traces are built
+//     once and shared by every device in the cohort (harvest.Modulated
+//     wraps the built source without copying it), and the storage
+//     technology catalog is already interned package-level state;
+//   - streaming aggregation: per-device observables fold into
+//     constant-size per-cohort accumulators (metrics.Running, mergeable
+//     metrics.Histogram, integer totals) per chunk, and chunks fold in
+//     index order — memory is O(workers + cohorts), not O(devices).
+//
+// Determinism: device d derives everything random from runner.RNG(seed,
+// d) and chunk boundaries are a fixed size independent of the worker
+// count, so the folded report is byte-identical at any Jobs. Memo
+// caches cannot break this — hits are bit-identical to direct solves —
+// but their hit/miss counters do depend on how chunks land on workers,
+// so cache stats are reported as diagnostics, never in the Report.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"capybara/internal/apps"
+	"capybara/internal/core"
+	"capybara/internal/env"
+	"capybara/internal/harvest"
+	"capybara/internal/metrics"
+	"capybara/internal/power"
+	"capybara/internal/runner"
+	"capybara/internal/units"
+)
+
+// Scenario selects a cohort's harvesting environment, applied on top of
+// the application's paper-default source.
+type Scenario int
+
+const (
+	// Steady leaves the application's source as built.
+	Steady Scenario = iota
+	// PWM gates the source by a duty-cycled square wave (dimmed-bulb
+	// harvesting, the paper's §6.2 TA setup taken literally).
+	PWM
+	// Blackout injects harvester outage windows (§5.2's adversarial
+	// input timing).
+	Blackout
+
+	numScenarios
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Steady:
+		return "steady"
+	case PWM:
+		return "pwm"
+	default:
+		return "blackout"
+	}
+}
+
+// Cohort is one cell of the fleet's population grid: an application,
+// a power-system variant, and a harvesting scenario. Device d belongs
+// to cohort d mod len(cohorts).
+type Cohort struct {
+	App      string
+	Variant  core.Variant
+	Scenario Scenario
+	// trace is the cohort's shared environment modulation (nil for
+	// Steady): one immutable value reused by every device in the cohort.
+	trace harvest.Trace
+}
+
+func (c Cohort) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.App, c.Variant, c.Scenario)
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// N is the number of devices.
+	N int
+	// Seed derives every device's schedule and environment.
+	Seed int64
+	// Jobs is the worker count (<= 0 means GOMAXPROCS, 1 is serial).
+	// The report is byte-identical at any value.
+	Jobs int
+	// Scale scales each application's event count in (0, 1]; 0 means
+	// 1.0. Smaller scales shorten every lifecycle proportionally.
+	Scale float64
+	// NoMemo disables charge-solve memoization (results are identical
+	// either way; this is a perf A/B knob).
+	NoMemo bool
+	// NoRecycle builds every device fresh the pre-fleet way — no scratch
+	// recycling, no worker-shared memo cache; each instance gets its own
+	// default cache, exactly as a plain spec.Build loop would. Results
+	// are identical either way; with Jobs=1 this is the single-device-
+	// loop baseline BenchmarkFleet's speedup is measured against.
+	NoRecycle bool
+	// CacheSize bounds each worker's memo cache (0 = default).
+	CacheSize int
+	// ChunkSize is the number of consecutive devices folded per
+	// aggregation chunk (0 = 64). It must not vary with Jobs — chunk
+	// boundaries define the fold order the determinism guarantee
+	// depends on.
+	ChunkSize int
+}
+
+const defaultChunk = 64
+
+// latencyEdges bins event-to-report latencies for the fleet histogram.
+var latencyEdges = []units.Seconds{1, 5, 10, 30, 60, 120}
+
+// CohortStats aggregates one cohort's devices. All fields fold
+// associatively in fixed device order, so the totals are independent of
+// the worker count.
+type CohortStats struct {
+	Cohort  Cohort
+	Devices int
+	// Events and outcome totals are integer-exact.
+	Events        int
+	Correct       int
+	Misclassified int
+	Missed        int
+	// Accuracy accumulates per-device fraction-correct.
+	Accuracy metrics.Running
+	// Latency accumulates every reported event's latency (seconds);
+	// LatencyHist bins the same stream.
+	Latency     metrics.Running
+	LatencyHist metrics.Histogram
+	// Lifecycle counters summed over devices.
+	Boots      int
+	Brownouts  int
+	Reconfigs  int
+	Precharges int
+	TimeOn     units.Seconds
+	TimeOff    units.Seconds
+}
+
+func (c *CohortStats) merge(o *CohortStats) error {
+	c.Devices += o.Devices
+	c.Events += o.Events
+	c.Correct += o.Correct
+	c.Misclassified += o.Misclassified
+	c.Missed += o.Missed
+	c.Accuracy.Merge(o.Accuracy)
+	c.Latency.Merge(o.Latency)
+	if err := c.LatencyHist.Merge(&o.LatencyHist); err != nil {
+		return err
+	}
+	c.Boots += o.Boots
+	c.Brownouts += o.Brownouts
+	c.Reconfigs += o.Reconfigs
+	c.Precharges += o.Precharges
+	c.TimeOn += o.TimeOn
+	c.TimeOff += o.TimeOff
+	return nil
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Config  Config
+	Cohorts []CohortStats // in cohort-grid order; the canonical output
+	// Diagnostics — excluded from the canonical report because they
+	// depend on wall clock and on how chunks land on workers.
+	Elapsed    time.Duration
+	DevicesSec float64
+	Cache      power.CacheStats
+	Workers    int
+}
+
+// cohortGrid builds the population grid: every application × variant ×
+// scenario, with the scenario traces derived from the seed so the whole
+// grid is a function of Config alone.
+func cohortGrid(seed int64) ([]Cohort, error) {
+	var grid []Cohort
+	idx := 0
+	for _, name := range apps.SpecNames() {
+		if _, err := apps.SpecByName(name); err != nil {
+			return nil, err
+		}
+		for _, v := range []core.Variant{core.Continuous, core.Fixed, core.CapyR, core.CapyP} {
+			for s := Scenario(0); s < numScenarios; s++ {
+				c := Cohort{App: name, Variant: v, Scenario: s}
+				// Scenario parameters are drawn per cohort, not per
+				// device: the trace is a shared immutable artifact, and
+				// devices of a cohort revisiting the same source levels is
+				// what makes the per-worker memo caches pay.
+				rng := runner.RNG(seed^0x5ca1ab1e, idx)
+				switch s {
+				case PWM:
+					duty := 0.3 + 0.4*rng.Float64()
+					period := units.Seconds(4 + 8*rng.Float64())
+					c.trace = harvest.PWMTrace(duty, period)
+				case Blackout:
+					var windows [][2]units.Seconds
+					t := units.Seconds(0)
+					for len(windows) < 8 {
+						t += units.Seconds(30 + 120*rng.Float64())
+						dur := units.Seconds(5 + 25*rng.Float64())
+						windows = append(windows, [2]units.Seconds{t, dur})
+						t += dur
+					}
+					c.trace = harvest.BlackoutTrace(harvest.ConstantTrace(1), windows...)
+				}
+				grid = append(grid, c)
+				idx++
+			}
+		}
+	}
+	return grid, nil
+}
+
+// Run executes the fleet and folds the report.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("fleet: N must be positive, got %d", cfg.N)
+	}
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	if scale < 0 || scale > 1 {
+		return nil, fmt.Errorf("fleet: bad scale %g", scale)
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = defaultChunk
+	}
+	grid, err := cohortGrid(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Per-worker scratch — recorder, latency buffer, and memo cache —
+	// recycled across chunks through a sync.Pool. Scratch returned dirty
+	// is fine: simulate Resets the state containers before each device,
+	// and stale memo entries can only produce bit-identical replays,
+	// never wrong results.
+	scratches := sync.Pool{New: func() any {
+		ws := &workerScratch{}
+		if !cfg.NoMemo {
+			ws.scr.Memo = power.NewSegmentCache(cfg.CacheSize)
+		}
+		return ws
+	}}
+
+	start := time.Now()
+	nChunks := (cfg.N + chunk - 1) / chunk
+	folds, err := runner.Map(ctx, cfg.Jobs, nChunks, func(ctx context.Context, ci int) (*chunkStats, error) {
+		ws := scratches.Get().(*workerScratch)
+		defer scratches.Put(ws)
+		cache := ws.scr.Memo
+		if cfg.NoRecycle {
+			cache = nil // per-instance caches; nothing worker-level to report
+		}
+		cs := &chunkStats{cohorts: make([]CohortStats, len(grid))}
+		var before power.CacheStats
+		if cache != nil {
+			before = cache.Stats()
+		}
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		for d := lo; d < hi; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := simulate(cfg, scale, grid, d, ws, cs); err != nil {
+				return nil, fmt.Errorf("fleet: device %d: %w", d, err)
+			}
+		}
+		if cache != nil {
+			// Record this chunk's delta: pooled caches accumulate across
+			// chunks, so only deltas sum meaningfully. The total lookup
+			// count is deterministic (one per solve); the hit/miss split
+			// depends on cache warmth and is diagnostic only.
+			after := cache.Stats()
+			cs.cache = power.CacheStats{
+				Hits:        after.Hits - before.Hits,
+				Misses:      after.Misses - before.Misses,
+				Uncacheable: after.Uncacheable - before.Uncacheable,
+				Entries:     after.Entries,
+			}
+		}
+		return cs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold chunks in index order: with fixed chunk boundaries this is
+	// the same float operation sequence at any worker count.
+	res := &Result{Config: cfg, Cohorts: make([]CohortStats, len(grid)), Workers: workers}
+	for i := range grid {
+		res.Cohorts[i].Cohort = grid[i]
+	}
+	for _, cs := range folds {
+		for i := range cs.cohorts {
+			if cs.cohorts[i].Devices == 0 {
+				continue
+			}
+			if err := res.Cohorts[i].merge(&cs.cohorts[i]); err != nil {
+				return nil, err
+			}
+		}
+		cache := cs.cache
+		cache.Entries = 0 // per-chunk snapshots of pooled caches don't sum
+		res.Cache.Add(cache)
+	}
+	res.Elapsed = time.Since(start)
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.DevicesSec = float64(cfg.N) / secs
+	}
+	return res, nil
+}
+
+// chunkStats is one chunk's fold: per-cohort aggregates plus the
+// worker-cache snapshot after the chunk (diagnostic only).
+type chunkStats struct {
+	cohorts []CohortStats
+	cache   power.CacheStats
+}
+
+// workerScratch is one worker's recycled state: the application build
+// scratch (recorder + shared memo cache) and the latency staging
+// buffer. It lives in a sync.Pool keyed to nothing — any worker may
+// pick up any scratch — which is only sound because scratch contents
+// never influence results (containers are Reset per device; memo hits
+// are bit-identical to recomputes).
+type workerScratch struct {
+	scr apps.Scratch
+	lat []units.Seconds
+}
+
+// simulate runs device d's lifecycle and folds its observables into the
+// chunk aggregates. Nothing of the device survives the call — its state
+// containers live in ws and are recycled for the next device.
+func simulate(cfg Config, scale float64, grid []Cohort, d int, ws *workerScratch, cs *chunkStats) error {
+	ci := d % len(grid)
+	cohort := grid[ci]
+	spec, err := apps.SpecByName(cohort.App)
+	if err != nil {
+		return err
+	}
+	n := int(float64(spec.Events) * scale)
+	if n < 1 {
+		n = 1
+	}
+	rng := runner.RNG(cfg.Seed, d)
+	sched := env.Poisson(rng, n, spec.Mean, spec.Window)
+	var scr *apps.Scratch
+	if !cfg.NoRecycle {
+		ws.scr.Reset()
+		scr = &ws.scr
+	}
+	run, err := spec.Build(cohort.Variant, sched, nil, scr)
+	if err != nil {
+		return err
+	}
+	// The cohort scenario modulates the built source. The swap is sound
+	// mid-construction — the device has not started running.
+	if cohort.trace != nil {
+		run.Inst.Dev.Sys.Source = harvest.Modulated{
+			Source: run.Inst.Dev.Sys.Source,
+			Trace:  cohort.trace,
+		}
+	}
+	if err := run.Execute(); err != nil {
+		return err
+	}
+
+	agg := &cs.cohorts[ci]
+	if len(agg.LatencyHist.Edges) == 0 {
+		agg.Cohort = cohort
+		agg.LatencyHist.Edges = latencyEdges
+	}
+	agg.Devices++
+	acc := run.Accuracy()
+	agg.Events += acc.Total
+	agg.Correct += acc.Correct
+	agg.Misclassified += acc.Misclassified
+	agg.Missed += acc.Missed
+	agg.Accuracy.Add(acc.FractionCorrect())
+	ws.lat = run.Rec.AppendLatencies(ws.lat[:0])
+	for _, lat := range ws.lat {
+		agg.Latency.Add(float64(lat))
+		agg.LatencyHist.Add(lat)
+	}
+	st := run.Inst.Dev.Stats
+	agg.Boots += st.Boots
+	agg.Brownouts += st.Brownouts
+	agg.TimeOn += st.TimeOn
+	agg.TimeOff += st.TimeOff
+	agg.Reconfigs += run.Inst.Runtime.Reconfigs
+	agg.Precharges += run.Inst.Runtime.Precharges
+	return nil
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// testConfig keeps wall time small: 96 devices covers every cohort of
+// the 48-cell grid twice at 5% event scale.
+func testConfig(jobs int, noMemo bool) Config {
+	return Config{N: 96, Seed: 1, Jobs: jobs, Scale: 0.05, NoMemo: noMemo}
+}
+
+func render(t *testing.T, cfg Config) (string, string) {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, js bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), js.String()
+}
+
+// TestFleetDeterministicAcrossJobs is the engine's core guarantee: the
+// canonical report is byte-identical at any worker count.
+func TestFleetDeterministicAcrossJobs(t *testing.T) {
+	baseCSV, baseJSON := render(t, testConfig(1, false))
+	for _, jobs := range []int{3, 8} {
+		csv, js := render(t, testConfig(jobs, false))
+		if csv != baseCSV {
+			t.Fatalf("CSV differs at jobs=%d:\n--- jobs=1 ---\n%s--- jobs=%d ---\n%s",
+				jobs, baseCSV, jobs, csv)
+		}
+		if js != baseJSON {
+			t.Fatalf("JSON differs at jobs=%d", jobs)
+		}
+	}
+}
+
+// TestFleetMemoInvariant: disabling the memo cache must not change a
+// byte of the report — hits replay the exact float operations of the
+// direct solver.
+func TestFleetMemoInvariant(t *testing.T) {
+	onCSV, onJSON := render(t, testConfig(2, false))
+	offCSV, offJSON := render(t, testConfig(2, true))
+	if onCSV != offCSV {
+		t.Fatalf("memo changed the CSV report:\n--- memo on ---\n%s--- memo off ---\n%s",
+			onCSV, offCSV)
+	}
+	if onJSON != offJSON {
+		t.Fatal("memo changed the JSON report")
+	}
+}
+
+// TestFleetRecycleInvariant: the scratch-recycling layer (pooled
+// recorders, worker-shared memo caches) must not change a byte of the
+// report versus building every device fresh.
+func TestFleetRecycleInvariant(t *testing.T) {
+	cfg := testConfig(2, false)
+	onCSV, onJSON := render(t, cfg)
+	cfg.NoRecycle = true
+	offCSV, offJSON := render(t, cfg)
+	if onCSV != offCSV {
+		t.Fatalf("recycling changed the CSV report:\n--- recycle ---\n%s--- fresh ---\n%s",
+			onCSV, offCSV)
+	}
+	if onJSON != offJSON {
+		t.Fatal("recycling changed the JSON report")
+	}
+}
+
+// TestFleetReportShape sanity-checks the simulated population: every
+// cohort got devices, events were scheduled, and the Capybara variants
+// actually exercised reconfiguration.
+func TestFleetReportShape(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cohorts) != 48 {
+		t.Fatalf("grid has %d cohorts, want 48", len(res.Cohorts))
+	}
+	reconfigs := 0
+	for i := range res.Cohorts {
+		c := &res.Cohorts[i]
+		if c.Devices != 2 {
+			t.Fatalf("cohort %v has %d devices, want 2", c.Cohort, c.Devices)
+		}
+		if c.Events == 0 {
+			t.Fatalf("cohort %v scheduled no events", c.Cohort)
+		}
+		if got := c.Correct + c.Misclassified + c.Missed; got > c.Events {
+			t.Fatalf("cohort %v outcomes %d exceed events %d", c.Cohort, got, c.Events)
+		}
+		reconfigs += c.Reconfigs
+	}
+	if reconfigs == 0 {
+		t.Fatal("no cohort reconfigured — Capybara variants missing from the grid")
+	}
+	if res.DevicesSec <= 0 {
+		t.Fatalf("throughput diagnostic %v", res.DevicesSec)
+	}
+	if res.Cache.Hits == 0 {
+		t.Fatalf("memo never hit across the fleet: %+v", res.Cache)
+	}
+	if res.Diagnostics() == "" {
+		t.Fatal("empty diagnostics")
+	}
+
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// Header + 48 cohorts + TOTAL.
+	if len(lines) != 50 {
+		t.Fatalf("CSV has %d lines, want 50", len(lines))
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "TOTAL,") {
+		t.Fatalf("last line %q is not the TOTAL row", lines[len(lines)-1])
+	}
+}
+
+// TestFleetConfigValidation covers the error paths.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{N: 1, Scale: 2}); err == nil {
+		t.Fatal("scale 2 accepted")
+	}
+	if _, err := Run(context.Background(), Config{N: 1, Scale: -0.1}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+// TestFleetCancellation: a canceled context aborts the run with the
+// context error rather than completing.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig(2, false)); err == nil {
+		t.Fatal("canceled run completed")
+	}
+}

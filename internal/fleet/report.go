@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The canonical report: everything written here is a pure function of
+// Config, so the bytes are identical at any worker count and with the
+// memo cache on or off. Wall-clock and cache diagnostics deliberately
+// live outside it (Result fields, rendered by Diagnostics).
+
+// cohortRow is the JSON shape of one cohort.
+type cohortRow struct {
+	App           string `json:"app"`
+	Variant       string `json:"variant"`
+	Scenario      string `json:"scenario"`
+	Devices       int    `json:"devices"`
+	Events        int    `json:"events"`
+	Correct       int    `json:"correct"`
+	Misclassified int    `json:"misclassified"`
+	Missed        int    `json:"missed"`
+	AccuracyMean  string `json:"accuracy_mean"`
+	AccuracySD    string `json:"accuracy_sd"`
+	Reported      int64  `json:"reported"`
+	LatencyMean   string `json:"latency_mean_s"`
+	LatencySD     string `json:"latency_sd_s"`
+	LatencyMax    string `json:"latency_max_s"`
+	LatencyBins   []int  `json:"latency_bins"`
+	Boots         int    `json:"boots"`
+	Brownouts     int    `json:"brownouts"`
+	Reconfigs     int    `json:"reconfigs"`
+	Precharges    int    `json:"precharges"`
+	TimeOnFrac    string `json:"time_on_frac"`
+}
+
+// f renders a float with enough digits to expose any nondeterminism in
+// the fold while staying readable.
+func f(x float64) string { return fmt.Sprintf("%.9g", x) }
+
+func (c *CohortStats) row() cohortRow {
+	onFrac := 0.0
+	if tot := c.TimeOn + c.TimeOff; tot > 0 {
+		onFrac = float64(c.TimeOn) / float64(tot)
+	}
+	bins := c.LatencyHist.Counts
+	if bins == nil {
+		bins = make([]int, len(latencyEdges)+1)
+	}
+	return cohortRow{
+		App:           c.Cohort.App,
+		Variant:       c.Cohort.Variant.String(),
+		Scenario:      c.Cohort.Scenario.String(),
+		Devices:       c.Devices,
+		Events:        c.Events,
+		Correct:       c.Correct,
+		Misclassified: c.Misclassified,
+		Missed:        c.Missed,
+		AccuracyMean:  f(c.Accuracy.Mean),
+		AccuracySD:    f(c.Accuracy.StdDev()),
+		Reported:      c.Latency.N,
+		LatencyMean:   f(c.Latency.Mean),
+		LatencySD:     f(c.Latency.StdDev()),
+		LatencyMax:    f(c.Latency.Max()),
+		LatencyBins:   bins,
+		Boots:         c.Boots,
+		Brownouts:     c.Brownouts,
+		Reconfigs:     c.Reconfigs,
+		Precharges:    c.Precharges,
+		TimeOnFrac:    f(onFrac),
+	}
+}
+
+// WriteCSV renders the canonical per-cohort table plus a TOTAL row.
+func (r *Result) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("app,variant,scenario,devices,events,correct,misclassified,missed," +
+		"accuracy_mean,accuracy_sd,reported,latency_mean_s,latency_sd_s,latency_max_s," +
+		"boots,brownouts,reconfigs,precharges,time_on_frac\n")
+	write := func(label string, row cohortRow) {
+		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d,%d,%d,%d,%s\n",
+			label, row.Variant, row.Scenario, row.Devices, row.Events,
+			row.Correct, row.Misclassified, row.Missed,
+			row.AccuracyMean, row.AccuracySD, row.Reported,
+			row.LatencyMean, row.LatencySD, row.LatencyMax,
+			row.Boots, row.Brownouts, row.Reconfigs, row.Precharges, row.TimeOnFrac)
+	}
+	for i := range r.Cohorts {
+		c := &r.Cohorts[i]
+		if c.Devices == 0 {
+			continue
+		}
+		write(c.Cohort.App, c.row())
+	}
+	total := r.total()
+	row := total.row()
+	row.Variant, row.Scenario = "-", "-"
+	write("TOTAL", row)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the canonical report as one JSON document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	type doc struct {
+		N       int         `json:"n"`
+		Seed    int64       `json:"seed"`
+		Scale   string      `json:"scale"`
+		Cohorts []cohortRow `json:"cohorts"`
+		Total   cohortRow   `json:"total"`
+	}
+	scale := r.Config.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	d := doc{N: r.Config.N, Seed: r.Config.Seed, Scale: f(scale)}
+	for i := range r.Cohorts {
+		c := &r.Cohorts[i]
+		if c.Devices == 0 {
+			continue
+		}
+		d.Cohorts = append(d.Cohorts, c.row())
+	}
+	total := r.total()
+	d.Total = total.row()
+	d.Total.Variant, d.Total.Scenario = "-", "-"
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// total folds every cohort into one grand aggregate, in cohort order.
+func (r *Result) total() CohortStats {
+	var t CohortStats
+	t.Cohort = Cohort{App: "TOTAL"}
+	t.LatencyHist.Edges = latencyEdges
+	for i := range r.Cohorts {
+		c := &r.Cohorts[i]
+		if c.Devices == 0 {
+			continue
+		}
+		// merge cannot fail here: every cohort histogram shares
+		// latencyEdges.
+		if err := t.merge(c); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// Diagnostics renders the non-canonical run facts: throughput and memo
+// cache effectiveness. Separate from the report because both depend on
+// scheduling, not on Config.
+func (r *Result) Diagnostics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices in %v (%.0f devices/sec, %d workers)\n",
+		r.Config.N, r.Elapsed.Round(1e6), r.DevicesSec, r.Workers)
+	if c := r.Cache; c.Hits+c.Misses > 0 {
+		fmt.Fprintf(&b, "memo: %d lookups, %.1f%% hit, %d uncacheable\n",
+			c.Hits+c.Misses, 100*c.HitRate(), c.Uncacheable)
+	} else if r.Config.NoMemo {
+		b.WriteString("memo: disabled\n")
+	}
+	return b.String()
+}

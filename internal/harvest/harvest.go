@@ -91,12 +91,25 @@ type pwmTrace struct {
 	period units.Seconds
 }
 
-func (p pwmTrace) phase(t units.Seconds) float64 {
-	ph := math.Mod(float64(t), float64(p.period)) / float64(p.period)
-	if ph < 0 {
-		ph += 1
+// fastMod returns x modulo y in [0, y) for y > 0. math.Mod's
+// bit-normalization loop dominates CPU profiles of PWM-gated charge
+// workloads; floor and fused multiply-add compile to single
+// instructions, and the correction branches repair the at-most-one-off
+// quotient when x/y rounds across an integer.
+func fastMod(x, y float64) float64 {
+	r := math.FMA(-math.Floor(x/y), y, x)
+	if r < 0 {
+		r += y
+	} else if r >= y {
+		r -= y
 	}
-	return ph
+	return r
+}
+
+func (p pwmTrace) phase(t units.Seconds) float64 {
+	// fastMod keeps the phase in [0, 1); negative t wraps into the
+	// same cycle position.
+	return fastMod(float64(t), float64(p.period)) / float64(p.period)
 }
 
 func (p pwmTrace) Level(t units.Seconds) float64 {
@@ -155,10 +168,7 @@ func (d diurnalTrace) Level(t units.Seconds) float64 {
 // constant zero until the next dawn; during the day the sinusoid
 // varies continuously, so the horizon is unknown (0).
 func (d diurnalTrace) NextChange(t units.Seconds) units.Seconds {
-	ph := math.Mod(float64(t), float64(d.period))
-	if ph < 0 {
-		ph += float64(d.period)
-	}
+	ph := fastMod(float64(t), float64(d.period))
 	if ph >= float64(d.period)/2 {
 		h := units.Seconds(float64(d.period) - ph)
 		if h > 0 {

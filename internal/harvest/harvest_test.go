@@ -208,3 +208,46 @@ func TestRFHarvesterVoltage(t *testing.T) {
 		t.Fatalf("fallback efficiency power = %v", got)
 	}
 }
+
+// TestFastMod pins the fast periodic-phase reduction against math.Mod
+// over the domain the traces use (non-negative times, positive
+// periods): the result must stay in [0, period) and agree with the
+// reference to within one quotient correction.
+func TestFastMod(t *testing.T) {
+	check := func(x, y float64) {
+		t.Helper()
+		got := fastMod(x, y)
+		if got < 0 || got >= y {
+			t.Fatalf("fastMod(%g, %g) = %g out of [0, %g)", x, y, got, y)
+		}
+		want := math.Mod(x, y)
+		if want < 0 {
+			want += y
+		}
+		if got != want {
+			t.Fatalf("fastMod(%g, %g) = %g, math.Mod says %g", x, y, got, want)
+		}
+	}
+	// Edge instants: exact multiples, just-below multiples, zero.
+	for _, y := range []float64{1, 8, 86400, 0.125, 3.7} {
+		check(0, y)
+		for k := 1.0; k <= 4; k++ {
+			check(k*y, y)
+			check(math.Nextafter(k*y, 0), y)
+			check(math.Nextafter(k*y, math.Inf(1)), y)
+		}
+	}
+	prop := func(rawX, rawY uint32) bool {
+		x := float64(rawX) / 16            // up to ~3 days of sim time
+		y := 0.01 + float64(rawY%8000)/100 // periods 0.01..80 s
+		got := fastMod(x, y)
+		want := math.Mod(x, y)
+		if want < 0 {
+			want += y
+		}
+		return got == want && got >= 0 && got < y
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package harvest
+
+import "capybara/internal/units"
+
+// Modulated scales an existing source's power by a trace, leaving the
+// voltage untouched. The fleet engine uses it to derive heterogeneous
+// environments (PWM duty cycles, blackout windows) from one shared base
+// source without rebuilding the platform: the wrapper is memoryless, so
+// a single base Source instance can sit behind many Modulated views.
+type Modulated struct {
+	Source Source
+	Trace  Trace
+}
+
+// PowerAt implements Source.
+func (m Modulated) PowerAt(t units.Seconds) units.Power {
+	return units.Power(float64(m.Source.PowerAt(t)) * clamp01(m.Trace.Level(t)))
+}
+
+// VoltageAt implements Source: modulation attenuates power, not the
+// harvester's operating voltage.
+func (m Modulated) VoltageAt(t units.Seconds) units.Voltage {
+	return m.Source.VoltageAt(t)
+}
+
+// NextChange implements Stepped: the product is constant while both the
+// base source and the trace are. An opaque factor (no usable horizon)
+// makes the product opaque.
+func (m Modulated) NextChange(t units.Seconds) units.Seconds {
+	hs := NextChange(m.Source, t)
+	ht := NextChange(m.Trace, t)
+	if hs <= 0 || ht <= 0 {
+		return 0
+	}
+	if ht < hs {
+		return ht
+	}
+	return hs
+}

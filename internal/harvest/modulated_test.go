@@ -1,0 +1,40 @@
+package harvest
+
+import (
+	"testing"
+
+	"capybara/internal/units"
+)
+
+func TestModulated(t *testing.T) {
+	base := RegulatedSupply{Max: 10 * units.MilliWatt, V: 3}
+	m := Modulated{Source: base, Trace: PWMTrace(0.25, 8)} // on for 2 s of every 8
+
+	if got := m.PowerAt(1); got != 10*units.MilliWatt {
+		t.Fatalf("on-phase power %v", got)
+	}
+	if got := m.PowerAt(5); got != 0 {
+		t.Fatalf("off-phase power %v, want 0", got)
+	}
+	if got := m.VoltageAt(5); got != 3 {
+		t.Fatalf("voltage %v, want 3 (modulation must not touch voltage)", got)
+	}
+
+	// Stepped: the horizon is the min of the base's (Forever) and the
+	// trace's next PWM edge.
+	if got := NextChange(m, 0.5); got != 1.5 {
+		t.Fatalf("NextChange(0.5) = %v, want 1.5 (edge at t=2)", got)
+	}
+	if got := NextChange(m, 3); got != 5 {
+		t.Fatalf("NextChange(3) = %v, want 5 (edge at t=8)", got)
+	}
+
+	// An opaque trace makes the product opaque.
+	op := Modulated{Source: base, Trace: TraceFunc(func(units.Seconds) float64 { return 0.5 })}
+	if got := op.NextChange(0); got != 0 {
+		t.Fatalf("opaque trace horizon %v, want 0", got)
+	}
+	if got := op.PowerAt(0); got != 5*units.MilliWatt {
+		t.Fatalf("scaled power %v", got)
+	}
+}

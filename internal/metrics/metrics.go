@@ -52,6 +52,14 @@ func (r *Recorder) RecordSample(t units.Seconds) {
 	r.samples = append(r.samples, t)
 }
 
+// Reset clears the recorder for reuse, keeping the backing storage.
+// A long lifecycle retains tens of thousands of sample timestamps, so
+// fleet-scale runs recycle recorders instead of allocating per device.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	clear(r.reports)
+}
+
 // RecordReport notes an event's disposition. Only the first report per
 // event index is kept: BLE retransmissions of the same alert do not
 // improve accuracy, and real sniffers deduplicate too. A reported
@@ -146,13 +154,25 @@ func (a Accuracy) String() string {
 // Latencies returns the event-to-report latency of every correctly or
 // misclassified-reported event (events that produced a packet).
 func (r *Recorder) Latencies() []units.Seconds {
-	var out []units.Seconds
-	for _, rep := range r.Reports() {
+	return r.AppendLatencies(nil)
+}
+
+// AppendLatencies appends the latencies Latencies would return to dst
+// and returns the extended slice, in event-index order. Passing a
+// recycled dst lets per-device aggregation loops avoid two allocations
+// per device (the sorted report copy and the latency slice).
+func (r *Recorder) AppendLatencies(dst []units.Seconds) []units.Seconds {
+	idx := make([]int, 0, len(r.reports))
+	for i, rep := range r.reports {
 		if rep.Outcome == Correct || rep.Outcome == Misclassified {
-			out = append(out, rep.Latency())
+			idx = append(idx, i)
 		}
 	}
-	return out
+	sort.Ints(idx)
+	for _, i := range idx {
+		dst = append(dst, r.reports[i].Latency())
+	}
+	return dst
 }
 
 // DelayedFraction returns the share of values exceeding threshold —

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Streaming aggregation for fleet-scale runs: shards accumulate
+// constant-size state per metric and fold together at the end, so
+// memory is O(shards), not O(devices).
+
+// Running is an online mean/variance accumulator (Welford's algorithm)
+// with a parallel combiner (Chan et al.). The zero value is an empty
+// accumulator. Accumulators merge associatively: folding per-shard
+// Runnings equals a single-pass accumulation over the concatenated
+// stream up to float rounding (see the stream property tests).
+type Running struct {
+	// N is the number of observations.
+	N int64
+	// Mean is the running mean (0 when empty).
+	Mean float64
+	// M2 is the sum of squared deviations from the mean.
+	M2 float64
+	// MinV and MaxV track the extremes (undefined when empty).
+	MinV, MaxV float64
+}
+
+// Add folds one observation in.
+func (r *Running) Add(x float64) {
+	r.N++
+	if r.N == 1 {
+		r.Mean, r.MinV, r.MaxV = x, x, x
+		r.M2 = 0
+		return
+	}
+	d := x - r.Mean
+	r.Mean += d / float64(r.N)
+	r.M2 += d * (x - r.Mean)
+	if x < r.MinV {
+		r.MinV = x
+	}
+	if x > r.MaxV {
+		r.MaxV = x
+	}
+}
+
+// Merge folds another accumulator in, as if o's observations had been
+// Added to r.
+func (r *Running) Merge(o Running) {
+	if o.N == 0 {
+		return
+	}
+	if r.N == 0 {
+		*r = o
+		return
+	}
+	n := float64(r.N + o.N)
+	d := o.Mean - r.Mean
+	r.Mean += d * float64(o.N) / n
+	r.M2 += o.M2 + d*d*float64(r.N)*float64(o.N)/n
+	r.N += o.N
+	if o.MinV < r.MinV {
+		r.MinV = o.MinV
+	}
+	if o.MaxV > r.MaxV {
+		r.MaxV = o.MaxV
+	}
+}
+
+// Variance returns the population variance (0 for fewer than two
+// observations).
+func (r *Running) Variance() float64 {
+	if r.N < 2 {
+		return 0
+	}
+	return r.M2 / float64(r.N)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min and Max return the extremes, or 0 when empty.
+func (r *Running) Min() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.MinV
+}
+
+func (r *Running) Max() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.MaxV
+}
+
+func (r *Running) String() string {
+	if r.N == 0 {
+		return "no data"
+	}
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		r.N, r.Mean, r.StdDev(), r.Min(), r.Max())
+}
+
+// Merge folds another histogram's counts into h. The two must have been
+// built over identical edges — merging differently-binned histograms
+// has no meaning — and since counts are integers the merge is exact:
+// any fold order equals a single-pass fill. An empty h (zero value or
+// all-zero counts with no edges) adopts o's shape.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.Edges) == 0 && len(h.Counts) == 0 {
+		h.Edges = append(h.Edges, o.Edges...)
+		h.Counts = append(h.Counts, o.Counts...)
+		return nil
+	}
+	if len(h.Edges) != len(o.Edges) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d edges",
+			len(h.Edges), len(o.Edges))
+	}
+	for i, e := range h.Edges {
+		if o.Edges[i] != e {
+			return fmt.Errorf("metrics: merging histograms with mismatched edge %d: %v vs %v",
+				i, e, o.Edges[i])
+		}
+	}
+	for len(h.Counts) <= len(h.Edges) {
+		h.Counts = append(h.Counts, 0)
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package power
+
+import (
+	"testing"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// benchChargeCycles runs the periodic PWM lifecycle from
+// TestMemoHitRatePWM: every cycle browns out below the cold-start
+// threshold and reissues the same multi-phase cold-start solves, so
+// the memo= sub-benchmark replays cached trajectories while memo=off
+// walks the analytic solver (bypass ceiling → cold start → started
+// booster, one source sample and closed-form solve per phase) each
+// time. The delta between the two is the memo cache's headline number.
+func benchChargeCycles(b *testing.B, memo bool) {
+	src := harvest.SolarPanel{PeakPower: 5 * units.MilliWatt, OpenCircuitVoltage: 3,
+		Light: harvest.PWMTrace(0.42, 8)}
+	sys := NewSystem(src)
+	if memo {
+		sys.Memo = NewSegmentCache(0)
+	}
+	st := &quickStore{c: 100 * units.MicroFarad, v: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := units.Seconds(i) * 8
+		sys.TimeToChargeTo(st, 2.8, t0, 8)
+		st.v = 0.6
+	}
+	if memo {
+		b.ReportMetric(sys.Memo.Stats().HitRate(), "hit-rate")
+	}
+}
+
+func BenchmarkChargeSolvePWM(b *testing.B) {
+	b.Run("memo", func(b *testing.B) { benchChargeCycles(b, true) })
+	b.Run("direct", func(b *testing.B) { benchChargeCycles(b, false) })
+}

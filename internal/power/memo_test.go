@@ -1,0 +1,221 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// memoSystem builds a randomized system from the same raw knobs as the
+// analytic-vs-numerical quick test, so the memo equivalence check covers
+// the same configuration space (all four source kinds including PWM
+// edges and the opaque re-sampling fallback).
+func memoSystem(kind uint8, rawP, rawSrcV, rawCold, rawDrop uint16, bypass bool) *System {
+	frac := func(r uint16) float64 { return float64(r) / math.MaxUint16 }
+	p := units.Power(50e-6 * math.Pow(10, 2.6*frac(rawP)))
+	srcV := units.Voltage(0.2 + 4.8*frac(rawSrcV))
+	var src harvest.Source
+	switch kind % 4 {
+	case 0:
+		src = harvest.RegulatedSupply{Max: p, V: srcV}
+	case 1:
+		src = harvest.SolarPanel{PeakPower: p, OpenCircuitVoltage: srcV}
+	case 2:
+		src = harvest.SolarPanel{PeakPower: p, OpenCircuitVoltage: srcV,
+			Light: harvest.PWMTrace(0.6, 0.7)}
+	default:
+		src = harvest.SolarPanel{PeakPower: p, OpenCircuitVoltage: srcV,
+			Light: harvest.TraceFunc(func(tt units.Seconds) float64 {
+				return 0.65 + 0.35*math.Sin(2*math.Pi*float64(tt)/120)
+			})}
+	}
+	sys := NewSystem(src)
+	sys.In.ColdStart = units.Voltage(1.0 + 1.0*frac(rawCold))
+	sys.Bypass = BypassDiode{Enabled: bypass, Drop: units.Voltage(0.1 + 0.4*frac(rawDrop))}
+	return sys
+}
+
+// TestMemoBitIdentical is the memo cache's soundness property: for
+// randomized configurations, a memoized TimeToChargeTo / AdvanceCharge
+// produces bit-identical elapsed times and store voltages to the direct
+// solver — including on the second run of the same query, which is
+// answered entirely from the cache.
+func TestMemoBitIdentical(t *testing.T) {
+	f := func(kind uint8, rawC, rawV0, rawTarget, rawP, rawSrcV, rawWait, rawCold, rawDrop uint16, bypass, rated bool) bool {
+		frac := func(r uint16) float64 { return float64(r) / math.MaxUint16 }
+		c := units.Capacitance(1e-5 * math.Pow(10, 3*frac(rawC)))
+		v0 := units.Voltage(2.2 * frac(rawV0))
+		target := v0 + units.Voltage(0.05+2.4*frac(rawTarget))
+		maxWait := units.Seconds(0.5 + 3.5*frac(rawWait))
+
+		direct := memoSystem(kind, rawP, rawSrcV, rawCold, rawDrop, bypass)
+		memo := memoSystem(kind, rawP, rawSrcV, rawCold, rawDrop, bypass)
+		memo.Memo = NewSegmentCache(0)
+
+		mk := func() Store {
+			if rated {
+				// Exercise the termParked path with a rating that can sit
+				// below the target.
+				return &ratedQuickStore{quickStore{c: c, v: v0}, target - 0.3}
+			}
+			return &quickStore{c: c, v: v0}
+		}
+
+		for pass := 0; pass < 2; pass++ { // pass 1 replays from a warm cache
+			a, b := mk(), mk()
+			dT, dOK := direct.TimeToChargeTo(a, target, 0, maxWait)
+			mT, mOK := memo.TimeToChargeTo(b, target, 0, maxWait)
+			if dT != mT || dOK != mOK || a.Voltage() != b.Voltage() {
+				t.Logf("TimeToChargeTo pass %d: direct (%v,%v,%v) memo (%v,%v,%v) C=%v v0=%v target=%v rated=%v",
+					pass, dT, dOK, a.Voltage(), mT, mOK, b.Voltage(), c, v0, target, rated)
+				return false
+			}
+			a, b = mk(), mk()
+			// Ceiling 0 exercises the unbounded termOpen path.
+			ceil := target
+			if rawWait%2 == 0 {
+				ceil = 0
+			}
+			dV := direct.AdvanceCharge(a, 0, maxWait, ceil)
+			mV := memo.AdvanceCharge(b, 0, maxWait, ceil)
+			if dV != mV || a.Voltage() != b.Voltage() {
+				t.Logf("AdvanceCharge pass %d: direct %v memo %v C=%v v0=%v ceil=%v rated=%v",
+					pass, dV, mV, c, v0, ceil, rated)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 1500,
+		Rand:     rand.New(rand.NewSource(20260807)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ratedQuickStore adds a rated ceiling so the memoized termParked
+// trajectory is exercised.
+type ratedQuickStore struct {
+	quickStore
+	rated units.Voltage
+}
+
+func (s *ratedQuickStore) RatedVoltage() units.Voltage { return s.rated }
+
+func (s *ratedQuickStore) SetVoltage(v units.Voltage) {
+	if v > s.rated {
+		v = s.rated
+	}
+	s.quickStore.SetVoltage(v)
+}
+
+// TestMemoHitRatePWM checks the headline workload: a device cycling
+// through charge solves under a periodic PWM source revisits the same
+// segment keys, so the hit rate must exceed 50%.
+func TestMemoHitRatePWM(t *testing.T) {
+	src := harvest.SolarPanel{PeakPower: 5 * units.MilliWatt, OpenCircuitVoltage: 3,
+		Light: harvest.PWMTrace(0.42, 8)}
+	sys := NewSystem(src)
+	sys.Memo = NewSegmentCache(0)
+	st := &quickStore{c: 100 * units.MicroFarad, v: 0}
+	// A periodic lifecycle: charge to a target, brown out back below the
+	// cold-start threshold, repeat. Each cycle reissues the same
+	// (v0, target, source-level) cold-start solves — the multi-phase
+	// trajectories the cache is scoped to (warm single-phase segments
+	// deliberately bypass it; see solveSegment).
+	for cycle := 0; cycle < 200; cycle++ {
+		t0 := units.Seconds(cycle) * 8
+		sys.TimeToChargeTo(st, 2.8, t0, 8)
+		st.v = 0.6
+	}
+	stats := sys.Memo.Stats()
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Fatalf("degenerate counters: %+v", stats)
+	}
+	if hr := stats.HitRate(); hr <= 0.5 {
+		t.Fatalf("PWM hit rate %.3f, want > 0.5 (stats %+v)", hr, stats)
+	}
+}
+
+// TestMemoBounded verifies the two-generation rotation caps retention:
+// a key stream much larger than the bound never grows the cache past it.
+func TestMemoBounded(t *testing.T) {
+	sys := NewSystem(harvest.RegulatedSupply{Max: units.MilliWatt, V: 3})
+	m := NewSegmentCache(64)
+	sys.Memo = m
+	st := &quickStore{c: 100 * units.MicroFarad}
+	for i := 0; i < 10_000; i++ {
+		// Distinct v0 per solve → distinct key every time.
+		st.v = units.Voltage(0.0001 * float64(i))
+		sys.TimeToChargeTo(st, 4.0, 0, 1e-4)
+	}
+	if n := m.Stats().Entries; n > 64 {
+		t.Fatalf("cache grew to %d entries, bound is 64", n)
+	}
+	if m.Stats().Misses == 0 {
+		t.Fatal("expected misses from the distinct-key stream")
+	}
+}
+
+// TestMemoPromotion verifies a hot key survives rotations: hits in the
+// old generation re-promote, so a working set smaller than the bound
+// stays resident under interleaved churn.
+func TestMemoPromotion(t *testing.T) {
+	sys := NewSystem(harvest.RegulatedSupply{Max: units.MilliWatt, V: 3})
+	m := NewSegmentCache(32)
+	sys.Memo = m
+	hot := &quickStore{c: 100 * units.MicroFarad}
+	churn := &quickStore{c: 100 * units.MicroFarad}
+	solveHot := func() {
+		hot.v = 1.0
+		sys.TimeToChargeTo(hot, 2.0, 0, 1e-6)
+	}
+	solveHot() // seed the hot entry
+	before := m.Stats()
+	if before.Misses != 1 {
+		t.Fatalf("seed: %+v", before)
+	}
+	for i := 0; i < 500; i++ {
+		churn.v = units.Voltage(0.001 * float64(i))
+		sys.TimeToChargeTo(churn, 4.0, 0, 1e-6)
+		solveHot()
+	}
+	after := m.Stats()
+	// The hot key must have hit every time after seeding; misses grow
+	// only from the churn keys.
+	if hotMisses := after.Misses - before.Misses - 500; hotMisses != 0 {
+		t.Fatalf("hot key missed %d times under churn: %+v", hotMisses, after)
+	}
+}
+
+// TestMemoStatsReset checks counter bookkeeping round-trips.
+func TestMemoStatsReset(t *testing.T) {
+	var agg CacheStats
+	agg.Add(CacheStats{Hits: 3, Misses: 2, Uncacheable: 1, Entries: 4})
+	agg.Add(CacheStats{Hits: 1, Misses: 1, Entries: 2})
+	if agg.Hits != 4 || agg.Misses != 3 || agg.Uncacheable != 1 || agg.Entries != 6 {
+		t.Fatalf("Add: %+v", agg)
+	}
+	if hr := agg.HitRate(); math.Abs(hr-4.0/7.0) > 1e-15 {
+		t.Fatalf("HitRate: %v", hr)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("empty HitRate should be 0")
+	}
+
+	sys := NewSystem(harvest.RegulatedSupply{Max: units.MilliWatt, V: 3})
+	m := NewSegmentCache(16)
+	sys.Memo = m
+	st := &quickStore{c: 100 * units.MicroFarad, v: 1}
+	sys.TimeToChargeTo(st, 2.0, 0, 1e-6)
+	m.Reset()
+	if s := m.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("Reset left %+v", s)
+	}
+}

@@ -117,6 +117,12 @@ type System struct {
 	In     InputBooster
 	Bypass BypassDiode
 	Out    OutputBooster
+
+	// Memo, when non-nil, memoizes charge-segment solves (see memo.go).
+	// Hits are bit-identical to direct solves, so attaching or sharing a
+	// cache never changes results — only speed. Leave nil for an
+	// unmemoized system.
+	Memo *SegmentCache
 }
 
 // NewSystem wires a source to default boosters.
@@ -273,7 +279,7 @@ func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Vol
 			return st.Voltage()
 		}
 		h := s.segmentHorizon(t, end-t)
-		used, reached := s.chargeSegment(st, ceiling, t, h)
+		used, reached := s.solveSegment(st, ceiling, t, h)
 		t += used
 		if reached {
 			return st.Voltage()
@@ -303,7 +309,7 @@ func (s *System) TimeToChargeTo(st Store, target units.Voltage, t0, maxWait unit
 	for elapsed < maxWait {
 		t := t0 + elapsed
 		h := s.segmentHorizon(t, maxWait-elapsed)
-		used, reached := s.chargeSegment(st, target, t, h)
+		used, reached := s.solveSegment(st, target, t, h)
 		elapsed += used
 		if reached {
 			return elapsed, true

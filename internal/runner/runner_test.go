@@ -203,3 +203,130 @@ func TestRNG(t *testing.T) {
 		}
 	}
 }
+
+// --- Fleet-scale stress tests -----------------------------------------
+//
+// The fleet engine (internal/fleet) pushes tens of thousands of jobs
+// through Map in one call. These tests pin the behaviors that matter at
+// that scale: a mid-stream failure stops dispatch promptly instead of
+// draining the queue, a panic deep in the job stream still surfaces as
+// a *PanicError naming its index, and external cancellation aborts the
+// run without waiting for the tail.
+
+const fleetJobs = 12_000
+
+// TestMapFleetScaleError: job 6000 of 12000 fails. The failure must
+// surface as the lowest-indexed error (every earlier job succeeds), and
+// dispatch must stop well short of the full stream.
+func TestMapFleetScaleError(t *testing.T) {
+	boom := errors.New("boom at 6000")
+	var started atomic.Int32
+	got, err := Map(context.Background(), 8, fleetJobs, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 6000 {
+			return 0, boom
+		}
+		if i > 6000 {
+			// Post-failure jobs that were already dispatched must see
+			// the cancellation; block briefly to give it time to land.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return 0, errors.New("cancellation never arrived")
+			}
+		}
+		return i, nil
+	})
+	if got != nil {
+		t.Fatal("results returned alongside error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); int(n) >= fleetJobs {
+		t.Fatalf("all %d jobs started despite failure at 6000", n)
+	}
+}
+
+// TestMapFleetScalePanic: a panic buried deep in a fleet-sized stream is
+// recovered into a *PanicError carrying the right job index, and the
+// remaining queue is not drained.
+func TestMapFleetScalePanic(t *testing.T) {
+	var started atomic.Int32
+	_, err := Map(context.Background(), 8, fleetJobs, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 7777 {
+			panic(fmt.Sprintf("device %d exploded", i))
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 7777 || pe.Value != "device 7777 exploded" {
+		t.Fatalf("PanicError = {Job: %d, Value: %v}", pe.Job, pe.Value)
+	}
+	if n := started.Load(); int(n) >= fleetJobs {
+		t.Fatalf("all %d jobs started despite panic at 7777", n)
+	}
+}
+
+// TestMapFleetScaleCancel: cancelling the caller's context mid-stream
+// aborts a fleet-sized run — the error is context.Canceled and the tail
+// of the stream never starts.
+func TestMapFleetScaleCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	_, err := Map(ctx, 8, fleetJobs, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 500 {
+			cancel()
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); int(n) >= fleetJobs {
+		t.Fatalf("all %d jobs started despite cancellation at 500", n)
+	}
+}
+
+// TestPoolRunFleetScale: the untyped wrapper handles a fleet-sized
+// stream — every job runs exactly once on the happy path, and a late
+// failure still cancels the remainder.
+func TestPoolRunFleetScale(t *testing.T) {
+	hits := make([]atomic.Int32, fleetJobs)
+	if err := (Pool{Workers: 8}).Run(context.Background(), len(hits), func(_ context.Context, i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("job %d ran %d times", i, hits[i].Load())
+		}
+	}
+
+	boom := errors.New("late failure")
+	var started atomic.Int32
+	err := (Pool{Workers: 8}).Run(context.Background(), fleetJobs, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 9000 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); int(n) >= fleetJobs {
+		t.Fatalf("all %d jobs started despite failure at 9000", n)
+	}
+}

@@ -32,7 +32,30 @@ func BenchmarkEventLogAdd(b *testing.B) {
 	l := &EventLog{}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		l.add(units.Seconds(i), EventBoot, "")
+		l.add(Event{T: units.Seconds(i), Kind: EventBoot})
+	}
+}
+
+// BenchmarkEventLogAddDetailed records detail-carrying events the way
+// the simulator's hot paths now do: typed fields, no formatting. The
+// eager variant below it is the pre-lazy behaviour (a fmt.Sprintf per
+// event) kept as the comparison baseline — the delta between the two is
+// the per-event saving.
+func BenchmarkEventLogAddDetailed(b *testing.B) {
+	l := &EventLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.add(Event{T: units.Seconds(i), Kind: EventReconfig, Mask: uint64(i) | 1})
+	}
+}
+
+func BenchmarkEventLogAddEagerFormat(b *testing.B) {
+	l := &EventLog{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := Event{T: units.Seconds(i), Kind: EventReconfig, Mask: uint64(i) | 1}
+		_ = e.Detail() // what the eager path paid per event
+		l.add(e)
 	}
 }
 

@@ -40,18 +40,39 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one timeline entry.
+// Event is one timeline entry. Details are carried as typed fields and
+// formatted lazily by Detail/String: the recording paths run inside the
+// simulator's hot loops, so an eager fmt.Sprintf per event would charge
+// every run for strings that only debugging reads.
 type Event struct {
-	T      units.Seconds
-	Kind   EventKind
-	Detail string
+	T    units.Seconds
+	Kind EventKind
+	// Mask is the active-bank mask after a reconfiguration or revert.
+	Mask uint64
+	// V and Elapsed are the reached voltage and charge duration of a
+	// charge-done event.
+	V       units.Voltage
+	Elapsed units.Seconds
+}
+
+// Detail renders the kind-specific payload, or "" when the kind carries
+// none.
+func (e Event) Detail() string {
+	switch e.Kind {
+	case EventReconfig, EventRevert:
+		return fmt.Sprintf("mask %#b", e.Mask)
+	case EventChargeDone:
+		return fmt.Sprintf("%v after %v", e.V, e.Elapsed)
+	default:
+		return ""
+	}
 }
 
 func (e Event) String() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("%v %s", e.T, e.Kind)
+	if d := e.Detail(); d != "" {
+		return fmt.Sprintf("%v %s (%s)", e.T, e.Kind, d)
 	}
-	return fmt.Sprintf("%v %s (%s)", e.T, e.Kind, e.Detail)
+	return fmt.Sprintf("%v %s", e.T, e.Kind)
 }
 
 // EventLog records a bounded device timeline. When the log is full the
@@ -72,7 +93,7 @@ func (l *EventLog) limit() int {
 	return 4096
 }
 
-func (l *EventLog) add(t units.Seconds, kind EventKind, detail string) {
+func (l *EventLog) add(e Event) {
 	if l == nil {
 		return
 	}
@@ -81,7 +102,16 @@ func (l *EventLog) add(t units.Seconds, kind EventKind, detail string) {
 		l.Dropped += half
 		l.events = append(l.events[:0], l.events[half:]...)
 	}
-	l.events = append(l.events, Event{T: t, Kind: kind, Detail: detail})
+	l.events = append(l.events, e)
+}
+
+// Reset clears the log for reuse, keeping the backing array.
+func (l *EventLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
+	l.Dropped = 0
 }
 
 // Events returns the recorded timeline in order.

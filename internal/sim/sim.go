@@ -89,6 +89,17 @@ func (tr *Trace) record(t units.Seconds, v units.Voltage, phase Phase) {
 	tr.Samples = append(tr.Samples, Sample{T: t, V: v, Phase: phase})
 }
 
+// Reset clears the trace for reuse, keeping the backing array. The
+// caller re-establishes MinInterval afterwards when it matters:
+// thinning may have doubled it away from the originally configured
+// density floor.
+func (tr *Trace) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.Samples = tr.Samples[:0]
+}
+
 // thin halves the retained samples in place (keeping every other one)
 // and doubles the density floor so the trace converges instead of
 // thrashing at the bound.
@@ -160,9 +171,7 @@ func (d *Device) Configure(mask uint64) error {
 	if err := d.Array.Configure(mask); err != nil {
 		return err
 	}
-	if d.Log != nil {
-		d.Log.add(d.now, EventReconfig, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
-	}
+	d.Log.add(Event{T: d.now, Kind: EventReconfig, Mask: d.Array.ActiveMask()})
 	if !d.Continuous {
 		v := d.Store().Voltage()
 		d.observe(HookReconfig, d.now, d.now, v, v, true)
@@ -200,8 +209,8 @@ func (d *Device) tickSpan(t0, dt units.Seconds) {
 		t0 += step
 		dt -= step
 		reverted := d.Array.Reverts > before
-		if d.Log != nil && reverted {
-			d.Log.add(t0, EventRevert, fmt.Sprintf("mask %#b", d.Array.ActiveMask()))
+		if reverted {
+			d.Log.add(Event{T: t0, Kind: EventRevert, Mask: d.Array.ActiveMask()})
 		}
 		if dt <= 0 {
 			return
@@ -240,7 +249,7 @@ func (d *Device) Drain(loadPower units.Power, dt units.Seconds) (units.Seconds, 
 	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
 	if !ok {
 		d.Stats.Brownouts++
-		d.Log.add(d.now, EventBrownout, "")
+		d.Log.add(Event{T: d.now, Kind: EventBrownout})
 	}
 	d.observe(HookDrain, start, d.now, v0, set.Voltage(), ok)
 	return sustained, ok
@@ -349,9 +358,7 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 		d.observe(HookSpan, start, d.now, v0, set.Voltage(), true)
 		if reached {
 			d.Trace.record(d.now, set.Voltage(), PhaseCharging)
-			if d.Log != nil {
-				d.Log.add(d.now, EventChargeDone, fmt.Sprintf("%v after %v", set.Voltage(), elapsed))
-			}
+			d.Log.add(Event{T: d.now, Kind: EventChargeDone, V: set.Voltage(), Elapsed: elapsed})
 			return elapsed, true
 		}
 	}
@@ -362,7 +369,7 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 // brownout.
 func (d *Device) Boot() bool {
 	d.Stats.Boots++
-	d.Log.add(d.now, EventBoot, "")
+	d.Log.add(Event{T: d.now, Kind: EventBoot})
 	if !d.Continuous {
 		v := d.Store().Voltage()
 		d.observe(HookBoot, d.now, d.now, v, v, true)

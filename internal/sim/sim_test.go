@@ -289,7 +289,7 @@ func TestEventLogTimeline(t *testing.T) {
 func TestEventLogBounded(t *testing.T) {
 	l := &EventLog{Max: 8}
 	for i := 0; i < 20; i++ {
-		l.add(units.Seconds(i), EventBoot, "")
+		l.add(Event{T: units.Seconds(i), Kind: EventBoot})
 	}
 	if len(l.Events()) > 8 {
 		t.Fatalf("log exceeded bound: %d", len(l.Events()))
@@ -304,7 +304,7 @@ func TestEventLogBounded(t *testing.T) {
 	}
 	// A nil log is a no-op.
 	var nilLog *EventLog
-	nilLog.add(0, EventBoot, "")
+	nilLog.add(Event{Kind: EventBoot})
 }
 
 func TestEventLogRevertRecorded(t *testing.T) {
