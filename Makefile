@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench targets.
 SHELL := /bin/bash
 
-.PHONY: build test vet race bench bench-short bench-compare chaos fuzz-smoke verify
+.PHONY: build test vet race bench bench-short bench-compare chaos fuzz-smoke fleet-shard-smoke verify
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ chaos:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConnect -fuzztime=5s ./internal/storage
 	$(GO) test -run='^$$' -fuzz=FuzzCommitAtomicity -fuzztime=5s ./internal/task
+
+# Distributed-path smoke: launch a loopback coordinator plus two
+# worker processes (real capyfleet binaries, not in-process goroutines)
+# and diff the sharded report against the single-process report. The
+# reports must be byte-identical — the in-repo determinism contract
+# extends across process boundaries.
+fleet-shard-smoke:
+	bash scripts/shard_smoke.sh
 
 # The full verify path: what CI runs.
 verify: build vet test race

@@ -10,12 +10,15 @@ package capybara
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
+	"sync"
 	"testing"
 
 	"capybara/internal/core"
 	"capybara/internal/experiments"
 	"capybara/internal/fleet"
+	"capybara/internal/shard"
 )
 
 // BenchmarkFigure2 regenerates the fixed-capacity trade-off traces.
@@ -308,6 +311,49 @@ func BenchmarkFleetBaseline(b *testing.B) {
 		res = r
 	}
 	b.ReportMetric(res.DevicesSec, "devices/sec")
+}
+
+// BenchmarkFleetSharded runs the BenchmarkFleet workload through the
+// distributed path: a loopback TCP coordinator leasing chunks to two
+// in-process workers (internal/shard). The report is byte-identical to
+// BenchmarkFleet's; the delta versus BenchmarkFleet is the protocol's
+// whole overhead — framing, gob encode/decode of per-chunk partials,
+// and lease bookkeeping — which stays in the low percents because a
+// chunk's simulation time dwarfs its ~10 KB partial. On a multi-core
+// machine the two workers' chunks genuinely overlap, so devices/sec
+// scales with cores exactly as the in-process pool does; across real
+// machines it scales past a single host's core count.
+func BenchmarkFleetSharded(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		var wg sync.WaitGroup
+		workerErrs := make([]error, 2)
+		for w := range workerErrs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				workerErrs[w] = shard.Work(context.Background(), addr, 0, shard.WorkerOptions{})
+			}(w)
+		}
+		r, err := shard.Serve(context.Background(), ln, fleetBenchConfig(), shard.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+		for w, err := range workerErrs {
+			if err != nil {
+				b.Fatalf("worker %d: %v", w, err)
+			}
+		}
+		res = r
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+	b.ReportMetric(float64(res.Workers), "shard-workers")
 }
 
 // BenchmarkMultiSeed aggregates Fig. 8 accuracy across 3 independent

@@ -8,11 +8,18 @@
 //	          [-memo=false] [-cache N] [-recycle=false]
 //	          [-cpuprofile F] [-memprofile F]
 //
+// Sharded (multi-process) mode splits one run across machines:
+//
+//	capyfleet -serve :9009 -n 1000000          # coordinator: leases chunks, folds the report
+//	capyfleet -connect host:9009 [-jobs N]     # worker: runs leased chunks, streams partials
+//
 // The report (CSV by default, -json for JSON) is a pure function of
-// (-n, -seed, -scale): it is byte-identical at any -jobs and with the
-// charge-solve memo cache on or off. Throughput and cache-effectiveness
-// diagnostics go to stderr — they depend on scheduling and wall clock,
-// so they are deliberately not part of the report.
+// (-n, -seed, -scale): it is byte-identical at any -jobs, with the
+// charge-solve memo cache on or off — and in sharded mode at any worker
+// count, topology, or failure schedule. Throughput, lease, and
+// cache-effectiveness diagnostics go to stderr — they depend on
+// scheduling and wall clock, so they are deliberately not part of the
+// report.
 package main
 
 import (
@@ -20,35 +27,118 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
+	"time"
 
 	"capybara/internal/fleet"
 	"capybara/internal/prof"
+	"capybara/internal/shard"
 )
 
-func main() {
-	n := flag.Int("n", 1000, "number of devices")
-	seed := flag.Int64("seed", 1, "fleet seed")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers (1 forces the serial path)")
-	scale := flag.Float64("scale", 1.0, "event-count scale per device in (0, 1]")
-	asJSON := flag.Bool("json", false, "emit JSON instead of CSV")
-	out := flag.String("o", "", "write the report to this file instead of stdout")
-	memo := flag.Bool("memo", true, "enable per-worker charge-solve memoization")
-	cacheSize := flag.Int("cache", 0, "memo cache entries per worker (0 = default)")
-	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	flag.Parse()
+// options is the parsed and validated command line.
+type options struct {
+	n         int
+	seed      int64
+	jobs      int
+	scale     float64
+	asJSON    bool
+	out       string
+	noMemo    bool
+	cacheSize int
+	noRecycle bool
 
-	stop, err := prof.StartCPU(*cpuProfile)
+	serveAddr    string
+	connectAddr  string
+	leaseTimeout time.Duration
+	leaseRetries int
+	dialRetry    time.Duration
+
+	cpuProfile string
+	memProfile string
+}
+
+// validate rejects bad flag combinations up front with a usage error,
+// instead of panicking or silently misbehaving deep in the run.
+func (o *options) validate() error {
+	if o.serveAddr != "" && o.connectAddr != "" {
+		return fmt.Errorf("-serve and -connect are mutually exclusive")
+	}
+	if o.jobs < 1 {
+		return fmt.Errorf("-jobs must be >= 1, got %d", o.jobs)
+	}
+	if o.cacheSize < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", o.cacheSize)
+	}
+	if o.connectAddr != "" {
+		// Worker mode: the job spec (n, seed, scale) arrives from the
+		// coordinator; only local execution knobs apply.
+		if o.dialRetry < 0 {
+			return fmt.Errorf("-dial-retry must be >= 0, got %v", o.dialRetry)
+		}
+		return nil
+	}
+	if o.n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", o.n)
+	}
+	if !(o.scale > 0 && o.scale <= 1) {
+		return fmt.Errorf("-scale must be in (0, 1], got %g", o.scale)
+	}
+	if o.serveAddr != "" {
+		if o.leaseTimeout <= 0 {
+			return fmt.Errorf("-lease-timeout must be positive, got %v", o.leaseTimeout)
+		}
+		if o.leaseRetries < 1 {
+			return fmt.Errorf("-lease-retries must be >= 1, got %d", o.leaseRetries)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.n, "n", 1000, "number of devices")
+	flag.Int64Var(&o.seed, "seed", 1, "fleet seed")
+	flag.IntVar(&o.jobs, "jobs", runtime.GOMAXPROCS(0), "parallel workers (1 forces the serial path)")
+	flag.Float64Var(&o.scale, "scale", 1.0, "event-count scale per device in (0, 1]")
+	flag.BoolVar(&o.asJSON, "json", false, "emit JSON instead of CSV")
+	flag.StringVar(&o.out, "o", "", "write the report to this file instead of stdout")
+	memo := flag.Bool("memo", true, "enable per-worker charge-solve memoization")
+	flag.IntVar(&o.cacheSize, "cache", 0, "memo cache entries per worker (0 = default)")
+	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
+	flag.StringVar(&o.serveAddr, "serve", "", "run as shard coordinator listening on this address (host:port); workers join with -connect")
+	flag.StringVar(&o.connectAddr, "connect", "", "run as shard worker connecting to a coordinator at this address")
+	flag.DurationVar(&o.leaseTimeout, "lease-timeout", time.Minute, "coordinator: chunk lease deadline before re-leasing to another worker")
+	flag.IntVar(&o.leaseRetries, "lease-retries", 3, "coordinator: lease attempts per chunk before the run fails hard")
+	flag.DurationVar(&o.dialRetry, "dial-retry", 10*time.Second, "worker: keep retrying the initial connection this long")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write an allocation profile to this file on exit")
+	flag.Parse()
+	o.noMemo = !*memo
+	o.noRecycle = !*recycle
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "capyfleet: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stop, err := prof.StartCPU(o.cpuProfile)
 	if err != nil {
 		fail(err)
 	}
-	err = run(*n, *seed, *jobs, *scale, *asJSON, *out, !*memo, *cacheSize, !*recycle)
+	switch {
+	case o.connectAddr != "":
+		err = runWorker(&o)
+	case o.serveAddr != "":
+		err = runCoordinator(&o)
+	default:
+		err = run(&o)
+	}
 	stop()
 	if err == nil {
-		err = prof.WriteHeap(*memProfile)
+		err = prof.WriteHeap(o.memProfile)
 	}
 	if err != nil {
 		fail(err)
@@ -60,29 +150,32 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func run(n int, seed int64, jobs int, scale float64, asJSON bool, out string, noMemo bool, cacheSize int, noRecycle bool) error {
-	res, err := fleet.Run(context.Background(), fleet.Config{
-		N:         n,
-		Seed:      seed,
-		Jobs:      jobs,
-		Scale:     scale,
-		NoMemo:    noMemo,
-		CacheSize: cacheSize,
-		NoRecycle: noRecycle,
-	})
-	if err != nil {
-		return err
+func (o *options) fleetConfig() fleet.Config {
+	return fleet.Config{
+		N:         o.n,
+		Seed:      o.seed,
+		Jobs:      o.jobs,
+		Scale:     o.scale,
+		NoMemo:    o.noMemo,
+		CacheSize: o.cacheSize,
+		NoRecycle: o.noRecycle,
 	}
+}
+
+// writeReport renders res to -o (or stdout) and its diagnostics to
+// stderr.
+func writeReport(o *options, res *fleet.Result) error {
 	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if asJSON {
+	var err error
+	if o.asJSON {
 		err = res.WriteJSON(w)
 	} else {
 		err = res.WriteCSV(w)
@@ -91,5 +184,51 @@ func run(n int, seed int64, jobs int, scale float64, asJSON bool, out string, no
 		return err
 	}
 	fmt.Fprint(os.Stderr, res.Diagnostics())
+	return nil
+}
+
+// run executes the whole fleet in this process.
+func run(o *options) error {
+	res, err := fleet.Run(context.Background(), o.fleetConfig())
+	if err != nil {
+		return err
+	}
+	return writeReport(o, res)
+}
+
+// runCoordinator listens for shard workers, leases them chunks, and
+// folds the identical report the in-process path would produce.
+func runCoordinator(o *options) error {
+	ln, err := net.Listen("tcp", o.serveAddr)
+	if err != nil {
+		return err
+	}
+	// The resolved address matters when -serve used port 0.
+	fmt.Fprintf(os.Stderr, "capyfleet: coordinating on %s (workers: capyfleet -connect %s)\n",
+		ln.Addr(), ln.Addr())
+	res, err := shard.Serve(context.Background(), ln, o.fleetConfig(), shard.Options{
+		LeaseTimeout: o.leaseTimeout,
+		MaxAttempts:  o.leaseRetries,
+		Progress:     os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	return writeReport(o, res)
+}
+
+// runWorker joins a coordinator and runs leased chunks until done.
+func runWorker(o *options) error {
+	fmt.Fprintf(os.Stderr, "capyfleet: worker connecting to %s (%d jobs)\n", o.connectAddr, o.jobs)
+	err := shard.Work(context.Background(), o.connectAddr, o.jobs, shard.WorkerOptions{
+		NoMemo:    o.noMemo,
+		CacheSize: o.cacheSize,
+		NoRecycle: o.noRecycle,
+		DialRetry: o.dialRetry,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "capyfleet: worker done")
 	return nil
 }

@@ -1,10 +1,23 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
+
+func testOptions(n int, jobs int) *options {
+	return &options{
+		n:     n,
+		seed:  7,
+		jobs:  jobs,
+		scale: 0.05,
+	}
+}
 
 // TestRunEndToEnd exercises the CLI path: CSV and JSON reports land in
 // the output file, and the bytes are identical across worker counts and
@@ -14,11 +27,14 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	emit := func(name string, jobs int, asJSON, noMemo bool) string {
 		t.Helper()
-		path := filepath.Join(dir, name)
-		if err := run(48, 7, jobs, 0.05, asJSON, path, noMemo, 0, false); err != nil {
+		o := testOptions(48, jobs)
+		o.asJSON = asJSON
+		o.noMemo = noMemo
+		o.out = filepath.Join(dir, name)
+		if err := run(o); err != nil {
 			t.Fatal(err)
 		}
-		b, err := os.ReadFile(path)
+		b, err := os.ReadFile(o.out)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,11 +58,124 @@ func TestRunEndToEnd(t *testing.T) {
 	if js1 != js4 {
 		t.Fatal("JSON differs between -jobs 1 and -jobs 4")
 	}
+}
 
-	if err := run(0, 1, 1, 1, false, "", false, 0, false); err == nil {
-		t.Fatal("n=0 accepted")
+// TestValidate pins the up-front flag validation: every bad flag is a
+// usage error before any simulation starts.
+func TestValidate(t *testing.T) {
+	ok := func(mutate func(*options)) *options {
+		o := testOptions(10, 2)
+		o.leaseTimeout = time.Minute
+		o.leaseRetries = 3
+		mutate(o)
+		return o
 	}
-	if err := run(1, 1, 1, 5, false, "", false, 0, false); err == nil {
-		t.Fatal("scale 5 accepted")
+	if err := ok(func(o *options) {}).validate(); err != nil {
+		t.Fatalf("good options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string
+	}{
+		{"zero n", func(o *options) { o.n = 0 }, "-n"},
+		{"negative n", func(o *options) { o.n = -5 }, "-n"},
+		{"zero scale", func(o *options) { o.scale = 0 }, "-scale"},
+		{"big scale", func(o *options) { o.scale = 1.5 }, "-scale"},
+		{"nan scale", func(o *options) { o.scale = nan() }, "-scale"},
+		{"zero jobs", func(o *options) { o.jobs = 0 }, "-jobs"},
+		{"negative cache", func(o *options) { o.cacheSize = -1 }, "-cache"},
+		{"serve and connect", func(o *options) { o.serveAddr = ":1"; o.connectAddr = ":2" }, "mutually exclusive"},
+		{"bad lease timeout", func(o *options) { o.serveAddr = ":1"; o.leaseTimeout = 0 }, "-lease-timeout"},
+		{"bad lease retries", func(o *options) { o.serveAddr = ":1"; o.leaseRetries = 0 }, "-lease-retries"},
+		{"negative dial retry", func(o *options) { o.connectAddr = ":1"; o.dialRetry = -time.Second }, "-dial-retry"},
+	}
+	for _, tc := range cases {
+		err := ok(tc.mutate).validate()
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Worker mode ignores the report spec (it comes from the
+	// coordinator), so a worker with unset -n must validate.
+	o := testOptions(0, 2)
+	o.connectAddr = "localhost:9"
+	if err := o.validate(); err != nil {
+		t.Fatalf("worker mode rejected unset -n: %v", err)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestServeConnectEndToEnd drives the CLI coordinator and two CLI
+// workers over loopback and asserts the sharded report is byte-for-byte
+// the single-process report.
+func TestServeConnectEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	single := testOptions(96, 2)
+	single.out = filepath.Join(dir, "single.csv")
+	if err := run(single); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a port for the coordinator.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	co := testOptions(96, 2)
+	co.serveAddr = addr
+	co.out = filepath.Join(dir, "sharded.csv")
+	co.leaseTimeout = time.Minute
+	co.leaseRetries = 3
+
+	var wg sync.WaitGroup
+	var serveErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = runCoordinator(co)
+	}()
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wo := testOptions(0, 1)
+			wo.connectAddr = addr
+			wo.dialRetry = 10 * time.Second
+			workerErrs[i] = runWorker(wo)
+		}(i)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("coordinator: %v", serveErr)
+	}
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	want, err := os.ReadFile(single.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(co.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || string(got) != string(want) {
+		t.Fatalf("sharded CLI report differs from single-process report:\n--- single ---\n%s--- sharded ---\n%s", want, got)
 	}
 }

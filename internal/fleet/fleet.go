@@ -19,12 +19,19 @@
 //     metrics.Histogram, integer totals) per chunk, and chunks fold in
 //     index order — memory is O(workers + cohorts), not O(devices).
 //
+// Execution decomposes into fixed-size device-index chunks behind the
+// Job/RunChunk/Fold API. Run drives the chunks through an in-process
+// worker pool; internal/shard drives the identical chunks across
+// worker processes over TCP. Either way the partials fold in chunk
+// order, so the report is a pure function of the Spec.
+//
 // Determinism: device d derives everything random from runner.RNG(seed,
 // d) and chunk boundaries are a fixed size independent of the worker
-// count, so the folded report is byte-identical at any Jobs. Memo
-// caches cannot break this — hits are bit-identical to direct solves —
-// but their hit/miss counters do depend on how chunks land on workers,
-// so cache stats are reported as diagnostics, never in the Report.
+// count, so the folded report is byte-identical at any Jobs — or at any
+// shard topology or failure schedule. Memo caches cannot break this —
+// hits are bit-identical to direct solves — but their hit/miss counters
+// do depend on how chunks land on workers, so cache stats are reported
+// as diagnostics, never in the Report.
 package fleet
 
 import (
@@ -123,11 +130,11 @@ const defaultChunk = 64
 // latencyEdges bins event-to-report latencies for the fleet histogram.
 var latencyEdges = []units.Seconds{1, 5, 10, 30, 60, 120}
 
-// CohortStats aggregates one cohort's devices. All fields fold
+// CohortAccum is one cohort's device aggregates. All fields fold
 // associatively in fixed device order, so the totals are independent of
-// the worker count.
-type CohortStats struct {
-	Cohort  Cohort
+// the worker count — and every field is exported and value-typed so
+// partials serialize for the shard wire protocol.
+type CohortAccum struct {
 	Devices int
 	// Events and outcome totals are integer-exact.
 	Events        int
@@ -149,7 +156,7 @@ type CohortStats struct {
 	TimeOff    units.Seconds
 }
 
-func (c *CohortStats) merge(o *CohortStats) error {
+func (c *CohortAccum) merge(o *CohortAccum) error {
 	c.Devices += o.Devices
 	c.Events += o.Events
 	c.Correct += o.Correct
@@ -167,6 +174,16 @@ func (c *CohortStats) merge(o *CohortStats) error {
 	c.TimeOn += o.TimeOn
 	c.TimeOff += o.TimeOff
 	return nil
+}
+
+// CohortStats pairs a cohort's identity with its folded aggregates.
+type CohortStats struct {
+	Cohort Cohort
+	CohortAccum
+}
+
+func (c *CohortStats) merge(o *CohortStats) error {
+	return c.CohortAccum.merge(&o.CohortAccum)
 }
 
 // Result is a completed fleet run.
@@ -223,23 +240,11 @@ func cohortGrid(seed int64) ([]Cohort, error) {
 	return grid, nil
 }
 
-// Run executes the fleet and folds the report.
+// Run executes the fleet in-process and folds the report: chunks fan
+// out across a runner pool and fold in index order. internal/shard runs
+// the identical chunk decomposition across worker processes.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("fleet: N must be positive, got %d", cfg.N)
-	}
-	scale := cfg.Scale
-	if scale == 0 {
-		scale = 1.0
-	}
-	if scale < 0 || scale > 1 {
-		return nil, fmt.Errorf("fleet: bad scale %g", scale)
-	}
-	chunk := cfg.ChunkSize
-	if chunk <= 0 {
-		chunk = defaultChunk
-	}
-	grid, err := cohortGrid(cfg.Seed)
+	job, err := NewJob(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -253,78 +258,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// is fine: simulate Resets the state containers before each device,
 	// and stale memo entries can only produce bit-identical replays,
 	// never wrong results.
-	scratches := sync.Pool{New: func() any {
-		ws := &workerScratch{}
-		if !cfg.NoMemo {
-			ws.scr.Memo = power.NewSegmentCache(cfg.CacheSize)
-		}
-		return ws
-	}}
+	scratches := sync.Pool{New: func() any { return job.NewScratch() }}
 
 	start := time.Now()
-	nChunks := (cfg.N + chunk - 1) / chunk
-	folds, err := runner.Map(ctx, cfg.Jobs, nChunks, func(ctx context.Context, ci int) (*chunkStats, error) {
-		ws := scratches.Get().(*workerScratch)
+	folds, err := runner.Map(ctx, cfg.Jobs, job.NumChunks(), func(ctx context.Context, ci int) (*ChunkPartial, error) {
+		ws := scratches.Get().(*Scratch)
 		defer scratches.Put(ws)
-		cache := ws.scr.Memo
-		if cfg.NoRecycle {
-			cache = nil // per-instance caches; nothing worker-level to report
-		}
-		cs := &chunkStats{cohorts: make([]CohortStats, len(grid))}
-		var before power.CacheStats
-		if cache != nil {
-			before = cache.Stats()
-		}
-		lo, hi := ci*chunk, (ci+1)*chunk
-		if hi > cfg.N {
-			hi = cfg.N
-		}
-		for d := lo; d < hi; d++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if err := simulate(cfg, scale, grid, d, ws, cs); err != nil {
-				return nil, fmt.Errorf("fleet: device %d: %w", d, err)
-			}
-		}
-		if cache != nil {
-			// Record this chunk's delta: pooled caches accumulate across
-			// chunks, so only deltas sum meaningfully. The total lookup
-			// count is deterministic (one per solve); the hit/miss split
-			// depends on cache warmth and is diagnostic only.
-			after := cache.Stats()
-			cs.cache = power.CacheStats{
-				Hits:        after.Hits - before.Hits,
-				Misses:      after.Misses - before.Misses,
-				Uncacheable: after.Uncacheable - before.Uncacheable,
-				Entries:     after.Entries,
-			}
-		}
-		return cs, nil
+		return job.RunChunk(ctx, ci, ws)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Fold chunks in index order: with fixed chunk boundaries this is
-	// the same float operation sequence at any worker count.
-	res := &Result{Config: cfg, Cohorts: make([]CohortStats, len(grid)), Workers: workers}
-	for i := range grid {
-		res.Cohorts[i].Cohort = grid[i]
+	res, err := job.Fold(folds)
+	if err != nil {
+		return nil, err
 	}
-	for _, cs := range folds {
-		for i := range cs.cohorts {
-			if cs.cohorts[i].Devices == 0 {
-				continue
-			}
-			if err := res.Cohorts[i].merge(&cs.cohorts[i]); err != nil {
-				return nil, err
-			}
-		}
-		cache := cs.cache
-		cache.Entries = 0 // per-chunk snapshots of pooled caches don't sum
-		res.Cache.Add(cache)
-	}
+	res.Workers = workers
 	res.Elapsed = time.Since(start)
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.DevicesSec = float64(cfg.N) / secs
@@ -332,42 +282,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// chunkStats is one chunk's fold: per-cohort aggregates plus the
-// worker-cache snapshot after the chunk (diagnostic only).
-type chunkStats struct {
-	cohorts []CohortStats
-	cache   power.CacheStats
-}
-
-// workerScratch is one worker's recycled state: the application build
-// scratch (recorder + shared memo cache) and the latency staging
-// buffer. It lives in a sync.Pool keyed to nothing — any worker may
-// pick up any scratch — which is only sound because scratch contents
-// never influence results (containers are Reset per device; memo hits
-// are bit-identical to recomputes).
-type workerScratch struct {
-	scr apps.Scratch
-	lat []units.Seconds
-}
-
 // simulate runs device d's lifecycle and folds its observables into the
-// chunk aggregates. Nothing of the device survives the call — its state
+// chunk partial. Nothing of the device survives the call — its state
 // containers live in ws and are recycled for the next device.
-func simulate(cfg Config, scale float64, grid []Cohort, d int, ws *workerScratch, cs *chunkStats) error {
-	ci := d % len(grid)
-	cohort := grid[ci]
+func (j *Job) simulate(d int, ws *Scratch, cp *ChunkPartial) error {
+	ci := d % len(j.grid)
+	cohort := j.grid[ci]
 	spec, err := apps.SpecByName(cohort.App)
 	if err != nil {
 		return err
 	}
-	n := int(float64(spec.Events) * scale)
+	n := int(float64(spec.Events) * j.scale)
 	if n < 1 {
 		n = 1
 	}
-	rng := runner.RNG(cfg.Seed, d)
+	rng := runner.RNG(j.cfg.Seed, d)
 	sched := env.Poisson(rng, n, spec.Mean, spec.Window)
 	var scr *apps.Scratch
-	if !cfg.NoRecycle {
+	if !j.cfg.NoRecycle {
 		ws.scr.Reset()
 		scr = &ws.scr
 	}
@@ -387,9 +319,8 @@ func simulate(cfg Config, scale float64, grid []Cohort, d int, ws *workerScratch
 		return err
 	}
 
-	agg := &cs.cohorts[ci]
+	agg := &cp.Cohorts[ci]
 	if len(agg.LatencyHist.Edges) == 0 {
-		agg.Cohort = cohort
 		agg.LatencyHist.Edges = latencyEdges
 	}
 	agg.Devices++

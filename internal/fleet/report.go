@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
+	"strconv"
 )
 
 // The canonical report: everything written here is a pure function of
@@ -36,15 +36,36 @@ type cohortRow struct {
 	TimeOnFrac    string `json:"time_on_frac"`
 }
 
-// f renders a float with enough digits to expose any nondeterminism in
-// the fold while staying readable.
-func f(x float64) string { return fmt.Sprintf("%.9g", x) }
+// rowScratch is the report writer's reusable formatting state: one
+// number buffer shared by every row instead of a fmt.Sprintf allocation
+// per field per cohort (the alloc delta is pinned by
+// BenchmarkFleetReportCSV).
+type rowScratch struct{ buf []byte }
 
-func (c *CohortStats) row() cohortRow {
-	onFrac := 0.0
+// appendFloat renders x exactly like the report's historical %.9g —
+// enough digits to expose any nondeterminism in the fold while staying
+// readable.
+func (s *rowScratch) appendFloat(dst []byte, x float64) []byte {
+	return strconv.AppendFloat(dst, x, 'g', 9, 64)
+}
+
+// float renders x into the shared scratch buffer and returns it as a
+// string (one small allocation — the string itself — per call; the
+// formatting work is allocation-free).
+func (s *rowScratch) float(x float64) string {
+	s.buf = s.appendFloat(s.buf[:0], x)
+	return string(s.buf)
+}
+
+// onFrac computes the duty-cycle fraction of a cohort.
+func (c *CohortStats) onFrac() float64 {
 	if tot := c.TimeOn + c.TimeOff; tot > 0 {
-		onFrac = float64(c.TimeOn) / float64(tot)
+		return float64(c.TimeOn) / float64(tot)
 	}
+	return 0
+}
+
+func (c *CohortStats) row(s *rowScratch) cohortRow {
 	bins := c.LatencyHist.Counts
 	if bins == nil {
 		bins = make([]int, len(latencyEdges)+1)
@@ -58,47 +79,84 @@ func (c *CohortStats) row() cohortRow {
 		Correct:       c.Correct,
 		Misclassified: c.Misclassified,
 		Missed:        c.Missed,
-		AccuracyMean:  f(c.Accuracy.Mean),
-		AccuracySD:    f(c.Accuracy.StdDev()),
+		AccuracyMean:  s.float(c.Accuracy.Mean),
+		AccuracySD:    s.float(c.Accuracy.StdDev()),
 		Reported:      c.Latency.N,
-		LatencyMean:   f(c.Latency.Mean),
-		LatencySD:     f(c.Latency.StdDev()),
-		LatencyMax:    f(c.Latency.Max()),
+		LatencyMean:   s.float(c.Latency.Mean),
+		LatencySD:     s.float(c.Latency.StdDev()),
+		LatencyMax:    s.float(c.Latency.Max()),
 		LatencyBins:   bins,
 		Boots:         c.Boots,
 		Brownouts:     c.Brownouts,
 		Reconfigs:     c.Reconfigs,
 		Precharges:    c.Precharges,
-		TimeOnFrac:    f(onFrac),
+		TimeOnFrac:    s.float(c.onFrac()),
 	}
+}
+
+const csvHeader = "app,variant,scenario,devices,events,correct,misclassified,missed," +
+	"accuracy_mean,accuracy_sd,reported,latency_mean_s,latency_sd_s,latency_max_s," +
+	"boots,brownouts,reconfigs,precharges,time_on_frac\n"
+
+// appendCSVRow formats one cohort straight into the report buffer — no
+// intermediate row struct, no per-field strings.
+func (s *rowScratch) appendCSVRow(b []byte, label, variant, scenario string, c *CohortStats) []byte {
+	b = append(b, label...)
+	b = append(b, ',')
+	b = append(b, variant...)
+	b = append(b, ',')
+	b = append(b, scenario...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Devices), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Events), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Correct), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Misclassified), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Missed), 10)
+	b = append(b, ',')
+	b = s.appendFloat(b, c.Accuracy.Mean)
+	b = append(b, ',')
+	b = s.appendFloat(b, c.Accuracy.StdDev())
+	b = append(b, ',')
+	b = strconv.AppendInt(b, c.Latency.N, 10)
+	b = append(b, ',')
+	b = s.appendFloat(b, c.Latency.Mean)
+	b = append(b, ',')
+	b = s.appendFloat(b, c.Latency.StdDev())
+	b = append(b, ',')
+	b = s.appendFloat(b, c.Latency.Max())
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Boots), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Brownouts), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Reconfigs), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Precharges), 10)
+	b = append(b, ',')
+	b = s.appendFloat(b, c.onFrac())
+	b = append(b, '\n')
+	return b
 }
 
 // WriteCSV renders the canonical per-cohort table plus a TOTAL row.
 func (r *Result) WriteCSV(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString("app,variant,scenario,devices,events,correct,misclassified,missed," +
-		"accuracy_mean,accuracy_sd,reported,latency_mean_s,latency_sd_s,latency_max_s," +
-		"boots,brownouts,reconfigs,precharges,time_on_frac\n")
-	write := func(label string, row cohortRow) {
-		fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%s,%d,%s,%s,%s,%d,%d,%d,%d,%s\n",
-			label, row.Variant, row.Scenario, row.Devices, row.Events,
-			row.Correct, row.Misclassified, row.Missed,
-			row.AccuracyMean, row.AccuracySD, row.Reported,
-			row.LatencyMean, row.LatencySD, row.LatencyMax,
-			row.Boots, row.Brownouts, row.Reconfigs, row.Precharges, row.TimeOnFrac)
-	}
+	var s rowScratch
+	b := make([]byte, 0, 256*(len(r.Cohorts)+2))
+	b = append(b, csvHeader...)
 	for i := range r.Cohorts {
 		c := &r.Cohorts[i]
 		if c.Devices == 0 {
 			continue
 		}
-		write(c.Cohort.App, c.row())
+		b = s.appendCSVRow(b, c.Cohort.App, c.Cohort.Variant.String(), c.Cohort.Scenario.String(), c)
 	}
 	total := r.total()
-	row := total.row()
-	row.Variant, row.Scenario = "-", "-"
-	write("TOTAL", row)
-	_, err := io.WriteString(w, b.String())
+	b = s.appendCSVRow(b, "TOTAL", "-", "-", &total)
+	_, err := w.Write(b)
 	return err
 }
 
@@ -111,20 +169,21 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Cohorts []cohortRow `json:"cohorts"`
 		Total   cohortRow   `json:"total"`
 	}
+	var s rowScratch
 	scale := r.Config.Scale
 	if scale == 0 {
 		scale = 1.0
 	}
-	d := doc{N: r.Config.N, Seed: r.Config.Seed, Scale: f(scale)}
+	d := doc{N: r.Config.N, Seed: r.Config.Seed, Scale: s.float(scale)}
 	for i := range r.Cohorts {
 		c := &r.Cohorts[i]
 		if c.Devices == 0 {
 			continue
 		}
-		d.Cohorts = append(d.Cohorts, c.row())
+		d.Cohorts = append(d.Cohorts, c.row(&s))
 	}
 	total := r.total()
-	d.Total = total.row()
+	d.Total = total.row(&s)
 	d.Total.Variant, d.Total.Scenario = "-", "-"
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -154,14 +213,14 @@ func (r *Result) total() CohortStats {
 // cache effectiveness. Separate from the report because both depend on
 // scheduling, not on Config.
 func (r *Result) Diagnostics() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: %d devices in %v (%.0f devices/sec, %d workers)\n",
+	var b []byte
+	b = fmt.Appendf(b, "fleet: %d devices in %v (%.0f devices/sec, %d workers)\n",
 		r.Config.N, r.Elapsed.Round(1e6), r.DevicesSec, r.Workers)
 	if c := r.Cache; c.Hits+c.Misses > 0 {
-		fmt.Fprintf(&b, "memo: %d lookups, %.1f%% hit, %d uncacheable\n",
+		b = fmt.Appendf(b, "memo: %d lookups, %.1f%% hit, %d uncacheable\n",
 			c.Hits+c.Misses, 100*c.HitRate(), c.Uncacheable)
 	} else if r.Config.NoMemo {
-		b.WriteString("memo: disabled\n")
+		b = append(b, "memo: disabled\n"...)
 	}
-	return b.String()
+	return string(b)
 }

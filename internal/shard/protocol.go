@@ -1,0 +1,197 @@
+// Package shard distributes a fleet run across worker processes: a
+// coordinator partitions the run into the same fixed-size device-index
+// chunks the in-process engine uses (fleet.Job), leases chunks to
+// workers over TCP, and folds the returned partials in chunk-index
+// order — so the report is byte-identical to a single-process run at
+// any worker count, topology, or failure schedule.
+//
+// Wire format: length-prefixed frames (4-byte big-endian length, then a
+// self-contained gob stream encoding one frame struct). Each frame is
+// encoded and decoded independently, so a corrupt frame is detected at
+// its own boundary instead of silently poisoning a long-lived stream,
+// and the length prefix bounds memory before a byte of the body is
+// trusted.
+//
+// Failure model: leases carry deadlines. A worker that disconnects,
+// lets a lease expire, or sends a malformed frame has its outstanding
+// chunks re-leased to surviving workers (bounded attempts with backoff,
+// then a hard error). Re-leasing can double-run a chunk; that is safe
+// because a chunk's partial is a pure function of (Spec, chunk index) —
+// duplicate results are bit-identical and the first one wins. Workers
+// validate the job's SpecHash before accepting work, so a mismatched
+// binary (different app tables, grid order, or trace generators) fails
+// the handshake instead of folding divergent partials into the report.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"capybara/internal/fleet"
+)
+
+const (
+	// protoVersion gates the frame schema; coordinator and worker must
+	// match exactly.
+	protoVersion = 1
+	// maxFrame bounds a frame body before it is read: a 10k-cohort
+	// partial is well under 1 MiB, so anything near this limit is a
+	// corrupt length prefix, not data.
+	maxFrame = 16 << 20
+	// handshakeTimeout bounds how long either side waits for the
+	// job/hello exchange — a peer that connects and goes silent must
+	// not pin a handler goroutine forever.
+	handshakeTimeout = 10 * time.Second
+)
+
+// msgType discriminates frames. Field names in the frame struct mirror
+// these; only the field matching Type is meaningful.
+type msgType uint8
+
+const (
+	// msgJob (coordinator → worker): the job spec and its hash, sent
+	// immediately on connect.
+	msgJob msgType = iota + 1
+	// msgHello (worker → coordinator): the worker's own hash of the
+	// spec plus how many leases it can hold concurrently.
+	msgHello
+	// msgLease (coordinator → worker): one chunk to run, with the
+	// lease's time-to-live for the worker's information (the
+	// coordinator enforces the deadline on its own clock).
+	msgLease
+	// msgResult (worker → coordinator): one chunk's partial.
+	msgResult
+	// msgDone (coordinator → worker): no more work; exit cleanly.
+	msgDone
+	// msgError (either direction): fatal condition, human-readable.
+	msgError
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgJob:
+		return "job"
+	case msgHello:
+		return "hello"
+	case msgLease:
+		return "lease"
+	case msgResult:
+		return "result"
+	case msgDone:
+		return "done"
+	case msgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgType(%d)", uint8(t))
+	}
+}
+
+// frame is the single wire message. Sub-messages are value fields: gob
+// omits zero values, so an unused field costs nothing on the wire, and
+// there are no nil-pointer cases to validate after decode.
+type frame struct {
+	Type   msgType
+	Job    jobMsg
+	Hello  helloMsg
+	Lease  leaseMsg
+	Result fleet.ChunkPartial
+	Error  string
+}
+
+type jobMsg struct {
+	Proto    int
+	Spec     fleet.Spec
+	SpecHash string
+}
+
+type helloMsg struct {
+	SpecHash string
+	Capacity int
+}
+
+type leaseMsg struct {
+	Chunk int
+	TTL   time.Duration
+}
+
+// frameConn wraps a connection with framed gob encoding. Reads are
+// single-goroutine (the owner's read loop); writes are serialized by a
+// mutex because leases (feeder goroutine) and errors (read loop) can
+// race on the same connection. The write buffer is reused across
+// frames — one encoder buffer per connection, not one per message.
+type frameConn struct {
+	c  net.Conn
+	rd *bytesReader
+
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+// bytesReader is a small adapter holding the read scratch so body
+// buffers are reused across frames too.
+type bytesReader struct {
+	r    io.Reader
+	body []byte
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, rd: &bytesReader{r: c}}
+}
+
+// write frames and sends f. Safe for concurrent use.
+func (fc *frameConn) write(f *frame) error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.buf.Reset()
+	fc.buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&fc.buf).Encode(f); err != nil {
+		return fmt.Errorf("shard: encode %v frame: %w", f.Type, err)
+	}
+	b := fc.buf.Bytes()
+	body := len(b) - 4
+	if body > maxFrame {
+		return fmt.Errorf("shard: %v frame of %d bytes exceeds limit %d", f.Type, body, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(body))
+	_, err := fc.c.Write(b)
+	return err
+}
+
+// read decodes the next frame. Not safe for concurrent use; only the
+// connection's owning read loop calls it.
+func (fc *frameConn) read() (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.rd.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("shard: frame length %d out of range", n)
+	}
+	if cap(fc.rd.body) < int(n) {
+		fc.rd.body = make([]byte, n)
+	}
+	body := fc.rd.body[:n]
+	if _, err := io.ReadFull(fc.rd.r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("shard: malformed frame: %w", err)
+	}
+	if f.Type < msgJob || f.Type > msgError {
+		return nil, fmt.Errorf("shard: malformed frame: unknown type %d", f.Type)
+	}
+	return &f, nil
+}
+
+func (fc *frameConn) close() error { return fc.c.Close() }
+
+// setDeadline bounds the next read/write (zero clears).
+func (fc *frameConn) setDeadline(t time.Time) { fc.c.SetDeadline(t) }
