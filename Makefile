@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench targets.
 SHELL := /bin/bash
 
-.PHONY: build test vet race bench bench-short bench-compare chaos fuzz-smoke fleet-shard-smoke verify
+.PHONY: build test vet race bench bench-short bench-compare chaos fuzz-smoke fleet-shard-smoke fleet-resume-smoke verify
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConnect -fuzztime=5s ./internal/storage
 	$(GO) test -run='^$$' -fuzz=FuzzCommitAtomicity -fuzztime=5s ./internal/task
+	$(GO) test -run='^$$' -fuzz=FuzzPartialDecode -fuzztime=5s ./internal/fleetsvc
 
 # Distributed-path smoke: launch a loopback coordinator plus two
 # worker processes (real capyfleet binaries, not in-process goroutines)
@@ -71,6 +72,14 @@ fuzz-smoke:
 # extends across process boundaries.
 fleet-shard-smoke:
 	bash scripts/shard_smoke.sh
+
+# Daemon crash/resume smoke: boot the capyfleet daemon, submit a job,
+# kill -9 it once checkpoints appear, restart it over the same store,
+# and diff the resumed job's report against the single-process
+# reference — byte-identical, with checkpointed chunks reloaded rather
+# than recomputed.
+fleet-resume-smoke:
+	bash scripts/resume_smoke.sh
 
 # The full verify path: what CI runs.
 verify: build vet test race

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"encoding/gob"
+)
+
+// Partial serialization: one self-contained gob stream per partial.
+//
+// This is the single encoding shared by everything that moves a
+// ChunkPartial out of process memory — the shard wire protocol embeds
+// partials in its frames, and the fleetsvc checkpoint store persists
+// them to disk. Gob transmits float64 values as their exact 64-bit
+// patterns, so decode(encode(cp)) is bit-identical to cp: a partial
+// that round-trips through disk or the network folds to exactly the
+// bytes a freshly computed partial would (the property the
+// internal/metrics encode→decode→Merge tests pin for the accumulator
+// types, and TestPartialRoundTripBitIdentical pins for the whole
+// partial).
+
+// EncodePartial writes cp to w as one self-contained gob stream.
+func EncodePartial(w io.Writer, cp *ChunkPartial) error {
+	if cp == nil {
+		return fmt.Errorf("fleet: encoding nil partial")
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// DecodePartial reads one partial from r. A fresh decoder per partial
+// means a corrupt stream fails at its own boundary — callers decide
+// whether that is a protocol failure (shard) or a quarantine-and-
+// recompute (fleetsvc store).
+func DecodePartial(r io.Reader) (*ChunkPartial, error) {
+	var cp ChunkPartial
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("fleet: decoding partial: %w", err)
+	}
+	return &cp, nil
+}

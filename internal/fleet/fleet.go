@@ -156,7 +156,10 @@ type CohortAccum struct {
 	TimeOff    units.Seconds
 }
 
-func (c *CohortAccum) merge(o *CohortAccum) error {
+// Merge folds o into c. Exported because the fleet service merges
+// checkpointed partials into progress snapshots; Fold remains the only
+// canonical-report path (fixed chunk-index order).
+func (c *CohortAccum) Merge(o *CohortAccum) error {
 	c.Devices += o.Devices
 	c.Events += o.Events
 	c.Correct += o.Correct
@@ -183,7 +186,7 @@ type CohortStats struct {
 }
 
 func (c *CohortStats) merge(o *CohortStats) error {
-	return c.CohortAccum.merge(&o.CohortAccum)
+	return c.CohortAccum.Merge(&o.CohortAccum)
 }
 
 // Result is a completed fleet run.

@@ -93,6 +93,11 @@ func (j *Job) Spec() Spec {
 // NumChunks returns the number of fixed-size device chunks.
 func (j *Job) NumChunks() int { return (j.cfg.N + j.chunk - 1) / j.chunk }
 
+// Cohorts returns the job's cohort grid identities, in grid order (the
+// order ChunkPartial.Cohorts and Result.Cohorts are indexed by). The
+// returned slice is shared; callers must not mutate it.
+func (j *Job) Cohorts() []Cohort { return j.grid }
+
 // ChunkBounds returns chunk ci's device index range [lo, hi).
 func (j *Job) ChunkBounds(ci int) (lo, hi int) {
 	lo, hi = ci*j.chunk, (ci+1)*j.chunk
@@ -255,7 +260,7 @@ func (j *Job) Fold(partials []*ChunkPartial) (*Result, error) {
 			if cp.Cohorts[i].Devices == 0 {
 				continue
 			}
-			if err := res.Cohorts[i].CohortAccum.merge(&cp.Cohorts[i]); err != nil {
+			if err := res.Cohorts[i].CohortAccum.Merge(&cp.Cohorts[i]); err != nil {
 				return nil, err
 			}
 		}

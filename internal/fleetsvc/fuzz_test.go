@@ -1,0 +1,72 @@
+package fleetsvc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"capybara/internal/fleet"
+)
+
+// FuzzPartialDecode throws arbitrary bytes at the store's entry decoder
+// (which layers the checksummed header over fleet.DecodePartial). The
+// invariants: never panic, never allocate past the payload bound, and
+// anything accepted decodes to a partial for the requested chunk that
+// survives a re-encode/re-decode cycle — so no input can smuggle an
+// unserializable or mislabeled partial past the checks.
+func FuzzPartialDecode(f *testing.F) {
+	job, err := fleet.NewJob(fleet.Config{N: 16, Seed: 5, Scale: 0.02, ChunkSize: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	hash := job.SpecHash()
+	cp, err := job.RunChunk(context.Background(), 1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeEntry(hash, 1, cp)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seed corpus: the valid entry, every corruption from the store
+	// tests, a bare gob payload with no header, and junk.
+	f.Add(valid)
+	for _, c := range corruptions {
+		f.Add(c.mangle(append([]byte(nil), valid...)))
+	}
+	f.Add(append([]byte(nil), valid[entryHeaderLen:]...))
+	f.Add([]byte(entryMagic))
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeEntry(data, hash, 1)
+		if err != nil {
+			return // rejected — the expected outcome for almost all inputs
+		}
+		// Accepted: the partial must be labeled for the requested chunk
+		// and survive a full store round trip.
+		if got.Chunk != 1 {
+			t.Fatalf("accepted entry labeled chunk %d, want 1", got.Chunk)
+		}
+		re, err := EncodeEntry(hash, 1, got)
+		if err != nil {
+			t.Fatalf("accepted entry failed to re-encode: %v", err)
+		}
+		re2, err := DecodeEntry(re, hash, 1)
+		if err != nil {
+			t.Fatalf("re-encoded entry failed to decode: %v", err)
+		}
+		var a, b bytes.Buffer
+		if err := fleet.EncodePartial(&a, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.EncodePartial(&b, re2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("partial drifted across a store round trip")
+		}
+	})
+}

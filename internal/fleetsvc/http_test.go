@@ -1,0 +1,238 @@
+package fleetsvc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"capybara/internal/fleet"
+)
+
+func testServer(t *testing.T, cfg ServiceConfig) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := openService(t, t.TempDir(), cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+func decodeStatus(t *testing.T, r io.Reader) JobStatus {
+	t.Helper()
+	var st JobStatus
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// TestHTTPAPI is the table-driven pass over every route's success and
+// error shapes against one live service.
+func TestHTTPAPI(t *testing.T) {
+	svc, srv := testServer(t, ServiceConfig{})
+
+	// One finished job to serve reports from.
+	done, err := svc.Submit(fleet.Spec{N: 16, Seed: 2, Scale: 0.02, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, svc, done.ID); st.State != StateDone {
+		t.Fatalf("setup job finished %s: %s", st.State, st.Error)
+	}
+	// One canceled job (submit then cancel; with the slot likely busy it
+	// cancels while queued — either way it is terminal and report-less).
+	canceled, err := svc.Submit(fleet.Spec{N: 480, Seed: 3, Scale: 0.05, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Cancel(canceled.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		status   int
+		contains string
+	}{
+		{"submit ok", "POST", "/api/v1/jobs", `{"n":16,"seed":4,"scale":0.02,"chunk_size":8}`, http.StatusCreated, `"state"`},
+		{"submit rejects invalid spec", "POST", "/api/v1/jobs", `{"n":0}`, http.StatusBadRequest, "N must be positive"},
+		{"submit rejects bad scale", "POST", "/api/v1/jobs", `{"n":8,"scale":3.5}`, http.StatusBadRequest, "bad scale"},
+		{"submit rejects malformed json", "POST", "/api/v1/jobs", `{"n":`, http.StatusBadRequest, "bad submit body"},
+		{"submit rejects unknown fields", "POST", "/api/v1/jobs", `{"n":8,"workers":4}`, http.StatusBadRequest, "bad submit body"},
+		{"submit is POST-only", "GET", "/api/v1/jobs/" + done.ID + "/cancel", "", http.StatusMethodNotAllowed, ""},
+		{"list", "GET", "/api/v1/jobs", "", http.StatusOK, `"jobs"`},
+		{"status ok", "GET", "/api/v1/jobs/" + done.ID, "", http.StatusOK, `"state": "done"`},
+		{"status with cohorts", "GET", "/api/v1/jobs/" + done.ID + "?cohorts=1", "", http.StatusOK, `"cohorts"`},
+		{"status unknown job", "GET", "/api/v1/jobs/j999999", "", http.StatusNotFound, "no job"},
+		{"report csv", "GET", "/api/v1/jobs/" + done.ID + "/report", "", http.StatusOK, "app,variant,scenario"},
+		{"report json", "GET", "/api/v1/jobs/" + done.ID + "/report?format=json", "", http.StatusOK, `"cohorts"`},
+		{"report bad format", "GET", "/api/v1/jobs/" + done.ID + "/report?format=xml", "", http.StatusBadRequest, "unknown format"},
+		{"report unknown job", "GET", "/api/v1/jobs/j999999/report", "", http.StatusNotFound, "no job"},
+		{"report of canceled job", "GET", "/api/v1/jobs/" + canceled.ID + "/report", "", http.StatusConflict, "canceled"},
+		{"cancel unknown job", "POST", "/api/v1/jobs/j999999/cancel", "", http.StatusNotFound, "no job"},
+		{"cancel terminal job is idempotent", "POST", "/api/v1/jobs/" + canceled.ID + "/cancel", "", http.StatusOK, `"state": "canceled"`},
+		{"stream unknown job", "GET", "/api/v1/jobs/j999999/stream", "", http.StatusNotFound, "no job"},
+		{"healthz", "GET", "/api/v1/healthz", "", http.StatusOK, `"ok": true`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("%s %s: got %d, want %d\nbody: %s", tc.method, tc.path, resp.StatusCode, tc.status, body)
+			}
+			if tc.contains != "" && !strings.Contains(string(body), tc.contains) {
+				t.Fatalf("%s %s: body missing %q:\n%s", tc.method, tc.path, tc.contains, body)
+			}
+		})
+	}
+}
+
+// TestHTTPSubmitToReportRoundTrip drives a job purely over HTTP —
+// submit, poll, fetch both report formats — and checks the CSV equals
+// the in-process baseline.
+func TestHTTPSubmitToReportRoundTrip(t *testing.T) {
+	cfg := fleet.Config{N: 32, Seed: 6, Scale: 0.02, ChunkSize: 8}
+	want := baseline(t, cfg)
+	_, srv := testServer(t, ServiceConfig{})
+
+	body := fmt.Sprintf(`{"n":%d,"seed":%d,"scale":%g,"chunk_size":%d}`, cfg.N, cfg.Seed, cfg.Scale, cfg.ChunkSize)
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	deadline := time.After(60 * time.Second)
+	for !terminal(st.State) {
+		select {
+		case <-deadline:
+			t.Fatalf("job stuck at %+v", st)
+		case <-time.After(20 * time.Millisecond):
+		}
+		resp, err := srv.Client().Get(srv.URL + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = decodeStatus(t, resp.Body)
+		resp.Body.Close()
+	}
+	if st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/api/v1/jobs/" + st.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("report content type %q", ct)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HTTP-served report differs from in-process baseline")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/api/v1/jobs/" + st.ID + "/report?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		N       int             `json:"n"`
+		Cohorts json.RawMessage `json:"cohorts"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.N != cfg.N || len(doc.Cohorts) == 0 {
+		t.Fatalf("JSON report malformed: n=%d cohorts=%d bytes", doc.N, len(doc.Cohorts))
+	}
+}
+
+// TestHTTPStream reads a job's NDJSON stream end to end: every line
+// must decode as a status for the job, done-counts must be monotonic,
+// and the stream must end with a terminal line.
+func TestHTTPStream(t *testing.T) {
+	_, srv := testServer(t, ServiceConfig{Jobs: 1})
+
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"n":96,"seed":8,"scale":0.05,"chunk_size":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+
+	resp, err = srv.Client().Get(srv.URL + "/api/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines, lastDone := 0, -1
+	var last JobStatus
+	for sc.Scan() {
+		var ev JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line %d: %v\n%s", lines, err, sc.Text())
+		}
+		if ev.ID != st.ID {
+			t.Fatalf("stream leaked job %s into %s's stream", ev.ID, st.ID)
+		}
+		if ev.Done < lastDone {
+			t.Fatalf("stream went backwards: done %d after %d", ev.Done, lastDone)
+		}
+		lastDone = ev.Done
+		last = ev
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stream produced no events")
+	}
+	if !terminal(last.State) {
+		t.Fatalf("stream ended on non-terminal state %s", last.State)
+	}
+	if last.State != StateDone || last.Done != last.Chunks {
+		t.Fatalf("final stream event %+v", last)
+	}
+}

@@ -1,0 +1,398 @@
+package fleetsvc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"capybara/internal/fleet"
+)
+
+// The service correctness suite. The claims under test, in order:
+//
+//  1. Crash/resume byte-identity: a daemon killed mid-run and restarted
+//     over the same store finishes the job and serves a report
+//     byte-identical to an uninterrupted single-process run.
+//  2. Any-prefix resume (property): whatever prefix of chunks was
+//     checkpointed before the crash — zero, some, or all — the resumed
+//     run loads exactly that prefix, computes exactly the rest, and
+//     folds to identical bytes.
+//  3. Cross-run memo: a second job with the same spec loads every chunk
+//     from the first job's checkpoints and computes nothing.
+//  4. Isolation: concurrent jobs with different specs never fold each
+//     other's partials.
+
+// baseline renders cfg's canonical CSV report with no store in the
+// loop: the bytes every checkpointed/resumed path must reproduce.
+func baseline(t *testing.T, cfg fleet.Config) []byte {
+	t.Helper()
+	res, _, err := RunWithStore(context.Background(), nil, cfg, nil)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openService(t *testing.T, dir string, cfg ServiceConfig) *Service {
+	t.Helper()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return svc
+}
+
+// waitStatus blocks until pred holds for the job's status (watch nudges
+// plus a slow poll, so a nudge lost to coalescing cannot hang the test).
+func waitStatus(t *testing.T, svc *Service, id string, what string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	ch, stop, ok := svc.Watch(id)
+	if !ok {
+		t.Fatalf("waitStatus: no job %s", id)
+	}
+	defer stop()
+	deadline := time.After(60 * time.Second)
+	for {
+		st, ok := svc.Status(id)
+		if !ok {
+			t.Fatalf("waitStatus: job %s vanished", id)
+		}
+		if pred(st) {
+			return st
+		}
+		if terminal(st.State) {
+			t.Fatalf("waitStatus: job %s reached %s (error %q) while waiting for %s", id, st.State, st.Error, what)
+		}
+		select {
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			t.Fatalf("waitStatus: job %s stuck at %+v waiting for %s", id, st, what)
+		}
+	}
+}
+
+func waitDone(t *testing.T, svc *Service, id string) JobStatus {
+	t.Helper()
+	ch, stop, ok := svc.Watch(id)
+	if !ok {
+		t.Fatalf("waitDone: no job %s", id)
+	}
+	defer stop()
+	deadline := time.After(60 * time.Second)
+	for {
+		st, ok := svc.Status(id)
+		if !ok {
+			t.Fatalf("waitDone: job %s vanished", id)
+		}
+		if terminal(st.State) {
+			return st
+		}
+		select {
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			t.Fatalf("waitDone: job %s stuck at %+v", id, st)
+		}
+	}
+}
+
+// TestServiceCrashResumeByteIdentity is the headline e2e: submit, let
+// at least two chunks checkpoint, kill the service the way a SIGKILL
+// would land (Close interrupts mid-chunk and leaves the journal saying
+// running), restart over the same directory, and require the resumed
+// job to finish with a report byte-identical to an uninterrupted run —
+// having reloaded at least one checkpoint rather than starting over.
+func TestServiceCrashResumeByteIdentity(t *testing.T) {
+	cfg := fleet.Config{N: 240, Seed: 7, Scale: 0.05, ChunkSize: 8} // 30 chunks
+	want := baseline(t, cfg)
+
+	dir := t.TempDir()
+	svc := openService(t, dir, ServiceConfig{Jobs: 1})
+	st, err := svc.Submit(fleet.Spec{N: cfg.N, Seed: cfg.Seed, Scale: cfg.Scale, ChunkSize: cfg.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, svc, st.ID, "two checkpoints", func(s JobStatus) bool { return s.Done >= 2 })
+	svc.Close() // crash: journal still says running, partial checkpoints on disk
+
+	svc2 := openService(t, dir, ServiceConfig{Jobs: 1})
+	defer svc2.Close()
+	fin := waitDone(t, svc2, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed job finished %s: %s", fin.State, fin.Error)
+	}
+	if fin.Loaded < 1 {
+		t.Fatalf("resumed job loaded %d chunks, want >= 1 (resume credit)", fin.Loaded)
+	}
+	if fin.Loaded+fin.Computed != fin.Chunks {
+		t.Fatalf("loaded %d + computed %d != %d chunks", fin.Loaded, fin.Computed, fin.Chunks)
+	}
+	got, err := svc2.Report(st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- resumed\n%s--- baseline\n%s", got, want)
+	}
+}
+
+// TestServiceResumeAcrossManyCrashes kills and restarts the service
+// after every couple of checkpoints until the job completes — a crash
+// at many distinct points of the same run, each resume folding the
+// union of all prior generations' checkpoints.
+func TestServiceResumeAcrossManyCrashes(t *testing.T) {
+	cfg := fleet.Config{N: 120, Seed: 3, Scale: 0.05, ChunkSize: 8} // 15 chunks
+	want := baseline(t, cfg)
+
+	dir := t.TempDir()
+	var finalSvc *Service
+	var fin JobStatus
+	id := ""
+	for gen := 0; gen < 20; gen++ {
+		svc := openService(t, dir, ServiceConfig{Jobs: 1})
+		if id == "" {
+			st, err := svc.Submit(fleet.Spec{N: cfg.N, Seed: cfg.Seed, Scale: cfg.Scale, ChunkSize: cfg.ChunkSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id = st.ID
+		}
+		st, ok := svc.Status(id)
+		if !ok {
+			t.Fatalf("generation %d lost job %s", gen, id)
+		}
+		if terminal(st.State) {
+			finalSvc, fin = svc, st
+			break
+		}
+		// Wait for fresh compute, not just reloaded checkpoints, so every
+		// generation is guaranteed to push the frontier before it dies.
+		st = waitStatus(t, svc, id, "fresh compute", func(s JobStatus) bool { return terminal(s.State) || s.Computed >= 2 })
+		if terminal(st.State) {
+			finalSvc, fin = svc, st
+			break
+		}
+		svc.Close() // crash this generation
+	}
+	if finalSvc == nil {
+		t.Fatal("job never completed across 20 generations")
+	}
+	defer finalSvc.Close()
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s: %s", fin.State, fin.Error)
+	}
+	got, err := finalSvc.Report(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("multi-crash report differs from uninterrupted run")
+	}
+}
+
+// TestAnyPrefixResume is the property underlying every crash test: for
+// EVERY possible checkpoint prefix k (a crash can land between any two
+// chunk completions), a run over a store holding exactly chunks [0, k)
+// loads k, computes the remaining n-k, and folds to identical bytes.
+func TestAnyPrefixResume(t *testing.T) {
+	cfg := fleet.Config{N: 48, Seed: 11, Scale: 0.05, ChunkSize: 8} // 6 chunks
+	want := baseline(t, cfg)
+	job, err := fleet.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := job.NumChunks()
+	hash := job.SpecHash()
+
+	// Precompute every chunk once; prefixes reuse them.
+	partials := make([]*fleet.ChunkPartial, n)
+	for ci := 0; ci < n; ci++ {
+		cp, err := job.RunChunk(context.Background(), ci, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials[ci] = cp
+	}
+
+	for k := 0; k <= n; k++ {
+		store, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := 0; ci < k; ci++ {
+			if err := store.Put(hash, ci, partials[ci]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, stats, err := RunWithStore(context.Background(), store, cfg, nil)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		if stats.Loaded != k || stats.Computed != n-k {
+			t.Fatalf("prefix %d: loaded %d computed %d, want %d and %d", k, stats.Loaded, stats.Computed, k, n-k)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("prefix %d: report differs from baseline", k)
+		}
+	}
+}
+
+// TestServiceCrossRunMemo: the store doubles as a cross-run memo — a
+// second job with the same spec is satisfied entirely from the first
+// job's checkpoints, with zero fresh computation.
+func TestServiceCrossRunMemo(t *testing.T) {
+	spec := fleet.Spec{N: 48, Seed: 5, Scale: 0.05, ChunkSize: 8}
+	svc := openService(t, t.TempDir(), ServiceConfig{})
+	defer svc.Close()
+
+	first, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitDone(t, svc, first.ID)
+	if st1.State != StateDone {
+		t.Fatalf("first job: %s (%s)", st1.State, st1.Error)
+	}
+	if st1.Computed != st1.Chunks || st1.Loaded != 0 {
+		t.Fatalf("first job on an empty store: computed %d loaded %d, want %d and 0", st1.Computed, st1.Loaded, st1.Chunks)
+	}
+
+	second, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitDone(t, svc, second.ID)
+	if st2.State != StateDone {
+		t.Fatalf("second job: %s (%s)", st2.State, st2.Error)
+	}
+	if st2.SpecHash != st1.SpecHash {
+		t.Fatalf("same spec hashed differently: %s vs %s", st2.SpecHash, st1.SpecHash)
+	}
+	if st2.Computed != 0 || st2.Loaded != st2.Chunks {
+		t.Fatalf("memo miss: second job computed %d loaded %d, want 0 and %d", st2.Computed, st2.Loaded, st2.Chunks)
+	}
+	r1, err := svc.Report(first.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Report(second.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("memo-satisfied report differs from computed report")
+	}
+}
+
+// TestServiceConcurrentJobIsolation runs two different-spec jobs at
+// once through one shared store and requires each report to match its
+// own single-job baseline — concurrent jobs must never fold each
+// other's partials, and the content-addressed store must keep their
+// checkpoints apart.
+func TestServiceConcurrentJobIsolation(t *testing.T) {
+	cfgA := fleet.Config{N: 64, Seed: 21, Scale: 0.05, ChunkSize: 8}
+	cfgB := fleet.Config{N: 64, Seed: 22, Scale: 0.05, ChunkSize: 8}
+	wantA := baseline(t, cfgA)
+	wantB := baseline(t, cfgB)
+	if bytes.Equal(wantA, wantB) {
+		t.Fatal("test needs distinguishable baselines; seeds 21/22 collided")
+	}
+
+	svc := openService(t, t.TempDir(), ServiceConfig{MaxConcurrent: 2})
+	defer svc.Close()
+	stA, err := svc.Submit(fleet.Spec{N: cfgA.N, Seed: cfgA.Seed, Scale: cfgA.Scale, ChunkSize: cfgA.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := svc.Submit(fleet.Spec{N: cfgB.N, Seed: cfgB.Seed, Scale: cfgB.Scale, ChunkSize: cfgB.ChunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.SpecHash == stB.SpecHash {
+		t.Fatal("different seeds produced the same spec hash")
+	}
+	finA := waitDone(t, svc, stA.ID)
+	finB := waitDone(t, svc, stB.ID)
+	if finA.State != StateDone || finB.State != StateDone {
+		t.Fatalf("jobs finished %s/%s (%s %s)", finA.State, finB.State, finA.Error, finB.Error)
+	}
+	gotA, err := svc.Report(stA.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := svc.Report(stB.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, wantA) {
+		t.Fatal("job A's report drifted under concurrency")
+	}
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatal("job B's report drifted under concurrency")
+	}
+}
+
+// TestServiceCancel: canceling a running job reaches the canceled
+// state, stays there across a restart, and never serves a report.
+func TestServiceCancel(t *testing.T) {
+	dir := t.TempDir()
+	svc := openService(t, dir, ServiceConfig{Jobs: 1})
+	st, err := svc.Submit(fleet.Spec{N: 240, Seed: 9, Scale: 0.05, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, svc, st.ID, "first checkpoint", func(s JobStatus) bool { return s.Done >= 1 })
+	got, err := svc.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCanceled {
+		t.Fatalf("cancel left job %s", got.State)
+	}
+	if _, err := svc.Report(st.ID, false); err == nil {
+		t.Fatal("canceled job served a report")
+	}
+	svc.Close()
+
+	// A successor must not resurrect a canceled job.
+	svc2 := openService(t, dir, ServiceConfig{Jobs: 1})
+	defer svc2.Close()
+	st2, ok := svc2.Status(st.ID)
+	if !ok {
+		t.Fatalf("canceled job %s forgotten after restart", st.ID)
+	}
+	if st2.State != StateCanceled {
+		t.Fatalf("canceled job resurrected as %s", st2.State)
+	}
+}
+
+// TestServiceSubmitRejectsBadSpec: validation errors surface at submit
+// time and never enter the queue or the journal.
+func TestServiceSubmitRejectsBadSpec(t *testing.T) {
+	svc := openService(t, t.TempDir(), ServiceConfig{})
+	defer svc.Close()
+	if _, err := svc.Submit(fleet.Spec{N: 0}); err == nil {
+		t.Fatal("submit accepted N=0")
+	}
+	if _, err := svc.Submit(fleet.Spec{N: 8, Scale: 2.0}); err == nil {
+		t.Fatal("submit accepted scale=2.0")
+	}
+	if got := len(svc.List()); got != 0 {
+		t.Fatalf("rejected submits left %d jobs in the queue", got)
+	}
+}

@@ -1,0 +1,247 @@
+package fleetsvc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capybara/internal/fleet"
+)
+
+// testJob is small (N=48 covers each of the 48 cohorts once) but
+// decomposes into 6 chunks, enough for prefix/corruption schedules.
+func testJob(t *testing.T) *fleet.Job {
+	t.Helper()
+	job, err := fleet.NewJob(testFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func testFleetConfig() fleet.Config {
+	return fleet.Config{N: 48, Seed: 3, Scale: 0.05, ChunkSize: 8}
+}
+
+func runChunk(t *testing.T, job *fleet.Job, ci int) *fleet.ChunkPartial {
+	t.Helper()
+	cp, err := job.RunChunk(context.Background(), ci, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// entryPath locates the on-disk file backing (hash, ci).
+func entryPath(s *Store, hash string, ci int) string {
+	return filepath.Join(s.Dir(), "partials", hash, chunkFile(ci))
+}
+
+// TestStoreRoundTrip: Put then Get returns a partial that folds to the
+// exact bytes of the original.
+func TestStoreRoundTrip(t *testing.T) {
+	job := testJob(t)
+	s := openStore(t)
+	hash := job.SpecHash()
+
+	direct := make([]*fleet.ChunkPartial, job.NumChunks())
+	loaded := make([]*fleet.ChunkPartial, job.NumChunks())
+	for ci := 0; ci < job.NumChunks(); ci++ {
+		direct[ci] = runChunk(t, job, ci)
+		if err := s.Put(hash, ci, direct[ci]); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := s.Get(hash, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded[ci] = cp
+	}
+
+	want := renderFold(t, job, direct)
+	got := renderFold(t, job, loaded)
+	if want != got {
+		t.Fatalf("report from stored partials differs:\n--- direct ---\n%s--- stored ---\n%s", want, got)
+	}
+
+	completed, err := s.Completed(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != job.NumChunks() {
+		t.Fatalf("Completed lists %d chunks, want %d", len(completed), job.NumChunks())
+	}
+	for i, ci := range completed {
+		if ci != i {
+			t.Fatalf("Completed[%d] = %d", i, ci)
+		}
+	}
+	if st := s.Stats(); st.Puts != int64(job.NumChunks()) || st.Hits != int64(job.NumChunks()) || st.Quarantined != 0 {
+		t.Fatalf("stats %+v after clean round trip", st)
+	}
+}
+
+func renderFold(t *testing.T, job *fleet.Job, partials []*fleet.ChunkPartial) string {
+	t.Helper()
+	res, err := job.Fold(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestStoreMiss: an absent entry is ErrNotFound, counted as a miss.
+func TestStoreMiss(t *testing.T) {
+	job := testJob(t)
+	s := openStore(t)
+	if _, err := s.Get(job.SpecHash(), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: %v", err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats %+v after one miss", st)
+	}
+}
+
+// corruptions is the table of byte-level faults a store entry must
+// survive (by detection, not by tolerance).
+var corruptions = []struct {
+	name   string
+	mangle func(data []byte) []byte
+}{
+	{"truncated header", func(d []byte) []byte { return d[:entryHeaderLen/2] }},
+	{"truncated payload", func(d []byte) []byte { return d[:len(d)-3] }},
+	{"empty", func(d []byte) []byte { return nil }},
+	{"magic flipped", func(d []byte) []byte { d[0] ^= 0xff; return d }},
+	{"header hash flipped", func(d []byte) []byte { d[8] ^= 0x01; return d }},
+	{"chunk index flipped", func(d []byte) []byte { d[79] ^= 0x01; return d }},
+	{"length flipped", func(d []byte) []byte { d[87] ^= 0x01; return d }},
+	{"checksum flipped", func(d []byte) []byte { d[100] ^= 0x01; return d }},
+	{"payload bit flip", func(d []byte) []byte { d[entryHeaderLen+1] ^= 0x40; return d }},
+	{"payload appended", func(d []byte) []byte { return append(d, 0xaa) }},
+}
+
+// TestStoreCorruptionQuarantined: every corruption in the table is
+// detected on Get, the entry moves to quarantine/, and the slot reads
+// as ErrNotFound afterwards — the recompute path.
+func TestStoreCorruptionQuarantined(t *testing.T) {
+	job := testJob(t)
+	hash := job.SpecHash()
+	cp := runChunk(t, job, 2)
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openStore(t)
+			if err := s.Put(hash, 2, cp); err != nil {
+				t.Fatal(err)
+			}
+			path := entryPath(s, hash, 2)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := s.Get(hash, 2); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("corrupt entry returned %v, want ErrNotFound", err)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("stats %+v: corrupt entry not quarantined", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry still present: %v", err)
+			}
+			quarantined, err := filepath.Glob(filepath.Join(s.Dir(), "quarantine", "*.bad"))
+			if err != nil || len(quarantined) != 1 {
+				t.Fatalf("quarantine dir holds %d entries (%v), want 1", len(quarantined), err)
+			}
+			// The slot is free to recompute and refill.
+			if _, err := s.Get(hash, 2); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("quarantined slot returned %v, want ErrNotFound", err)
+			}
+			if err := s.Put(hash, 2, cp); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(hash, 2); err != nil {
+				t.Fatalf("refilled slot: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreWrongHashEntry: an entry copied under a different spec's
+// directory (a misfiled checkpoint) is rejected by its header hash even
+// though the file itself is internally consistent.
+func TestStoreWrongHashEntry(t *testing.T) {
+	job := testJob(t)
+	hashA := job.SpecHash()
+	// A second spec: a different seed changes the hash, not the shape.
+	cfgB := testFleetConfig()
+	cfgB.Seed = 4
+	jobB, err := fleet.NewJob(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashB := jobB.SpecHash()
+	if hashA == hashB {
+		t.Fatal("test needs two distinct spec hashes")
+	}
+
+	s := openStore(t)
+	if err := s.Put(hashA, 1, runChunk(t, job, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Misfile it under hashB.
+	if err := os.MkdirAll(filepath.Join(s.Dir(), "partials", hashB), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(entryPath(s, hashA, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath(s, hashB, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get(hashB, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("misfiled entry returned %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats %+v: misfiled entry not quarantined", st)
+	}
+	// The original, correctly filed entry is untouched.
+	if _, err := s.Get(hashA, 1); err != nil {
+		t.Fatalf("original entry: %v", err)
+	}
+}
+
+// TestStoreBadHashArgument: malformed spec hashes are rejected at the
+// API instead of producing odd paths.
+func TestStoreBadHashArgument(t *testing.T) {
+	s := openStore(t)
+	for _, h := range []string{"", "short", "../../../../etc/passwd-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "ABCDEF0000000000000000000000000000000000000000000000000000000000"} {
+		if _, err := s.Get(h, 0); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("hash %q accepted by Get: %v", h, err)
+		}
+		if err := s.Put(h, 0, &fleet.ChunkPartial{}); err == nil {
+			t.Fatalf("hash %q accepted by Put", h)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +34,38 @@ type Options struct {
 	// throughput state every ProgressEvery (0 = 2s).
 	Progress      io.Writer
 	ProgressEvery time.Duration
+	// Completed pre-seeds chunks a previous run already computed (e.g.
+	// reloaded from a checkpoint store): they are marked done before any
+	// lease is granted, so workers only ever see the missing chunks.
+	// Each partial must belong to this job — chunk index in range,
+	// cohort count matching the grid — or Serve fails before listening.
+	// Pre-seeded chunks are not passed to OnChunk.
+	Completed []*fleet.ChunkPartial
+	// OnChunk, when non-nil, observes every newly completed chunk
+	// before it is folded — the coordinator's checkpoint hook. A non-nil
+	// error fails the run (a checkpoint that cannot be written is a
+	// durability loss, not a warning). Calls may be concurrent (one per
+	// worker connection), and a duplicate-result race can deliver the
+	// same chunk twice; both are harmless against an idempotent
+	// content-addressed store.
+	OnChunk func(*fleet.ChunkPartial) error
 }
+
+// ChunkError is the failure Serve returns when chunks exhaust their
+// lease attempts: Failed lists every exhausted chunk index (sorted), so
+// a caller that checkpointed the completed chunks knows exactly what a
+// resumed run still owes. Cause is the first exhausted chunk's last
+// lease failure.
+type ChunkError struct {
+	Failed []int
+	Cause  error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("shard: chunk(s) %v failed after exhausting lease attempts: %v", e.Failed, e.Cause)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Cause }
 
 func (o Options) withDefaults() Options {
 	if o.LeaseTimeout <= 0 {
@@ -80,8 +112,9 @@ type coordinator struct {
 	doneCh   chan struct{} // closed when the run completes or fails
 	nextID   int64
 
-	remaining int // chunks not yet done
-	retries   int // re-lease events (diagnostic)
+	remaining int   // chunks not yet done
+	exhausted []int // chunks that spent every lease attempt
+	retries   int   // re-lease events (diagnostic)
 	workers   int // currently handshaken workers
 	peak      int // max concurrent workers (diagnostic)
 	devices   int // devices in completed chunks (progress)
@@ -110,6 +143,29 @@ func Serve(ctx context.Context, ln net.Listener, cfg fleet.Config, opt Options) 
 	}
 	c.cond = sync.NewCond(&c.mu)
 	start := time.Now()
+
+	// Pre-seed checkpointed chunks: mark them done before any worker can
+	// be leased one. Validation is strict — a partial from the wrong job
+	// would poison the fold only after all the remaining work was done.
+	for _, cp := range c.opt.Completed {
+		if cp == nil {
+			continue
+		}
+		if cp.Chunk < 0 || cp.Chunk >= job.NumChunks() {
+			return nil, fmt.Errorf("shard: completed partial for chunk %d out of range [0, %d)", cp.Chunk, job.NumChunks())
+		}
+		if len(cp.Cohorts) != len(job.Cohorts()) {
+			return nil, fmt.Errorf("shard: completed partial for chunk %d has %d cohorts, want %d", cp.Chunk, len(cp.Cohorts), len(job.Cohorts()))
+		}
+		if c.chunks[cp.Chunk].status == chunkDone {
+			continue
+		}
+		c.chunks[cp.Chunk].status = chunkDone
+		c.partials[cp.Chunk] = cp
+		c.remaining--
+		lo, hi := job.ChunkBounds(cp.Chunk)
+		c.devices += hi - lo
+	}
 
 	stopCtx := context.AfterFunc(ctx, func() { c.fail(ctx.Err()) })
 	defer stopCtx()
@@ -263,8 +319,19 @@ func (c *coordinator) requeueLocked(ci int, cause error) {
 	st.owner = 0
 	c.retries++
 	if st.attempts >= c.opt.MaxAttempts {
-		if c.fatal == nil {
-			c.fatal = fmt.Errorf("shard: chunk %d failed after %d lease attempts: %w", ci, st.attempts, cause)
+		c.exhausted = append(c.exhausted, ci)
+		// Fail hard, surfacing every exhausted chunk so a caller that
+		// checkpointed the completed ones (Options.OnChunk) knows what a
+		// resumed run still owes. The error value is replaced, never
+		// mutated — snapshots other goroutines hold stay immutable.
+		if ce, ok := c.fatal.(*ChunkError); c.fatal == nil || ok {
+			failed := append([]int(nil), c.exhausted...)
+			sort.Ints(failed)
+			first := cause
+			if ok {
+				first = ce.Cause
+			}
+			c.fatal = &ChunkError{Failed: failed, Cause: first}
 		}
 		c.cond.Broadcast()
 		return
@@ -334,6 +401,26 @@ func (c *coordinator) complete(cp *fleet.ChunkPartial) bool {
 	if cp.Chunk < 0 || cp.Chunk >= len(c.chunks) {
 		return false
 	}
+	c.mu.Lock()
+	if c.chunks[cp.Chunk].status == chunkDone {
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+
+	// Checkpoint before marking done (and outside the lock — this is
+	// disk I/O): if the write fails, the run fails while the chunk is
+	// still officially unfinished, mirroring the in-process engine's
+	// put-before-fold ordering. A duplicate-result race can reach here
+	// twice; the store put is idempotent and the done-marking below
+	// still picks exactly one winner.
+	if c.opt.OnChunk != nil {
+		if err := c.opt.OnChunk(cp); err != nil {
+			c.fail(fmt.Errorf("shard: checkpointing chunk %d: %w", cp.Chunk, err))
+			return true
+		}
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := &c.chunks[cp.Chunk]

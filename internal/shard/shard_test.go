@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -338,6 +340,229 @@ func TestShardRetriesExhausted(t *testing.T) {
 		t.Fatalf("exhausted retries did not fail hard: %v", err)
 	}
 	<-done
+}
+
+// chunk0Refuser is a worker that computes every chunk except chunk 0.
+// It holds chunk 0's lease silently while answering the rest, then
+// kills its connection and reconnects; the second grant dies instantly.
+// Exhaustion is therefore driven entirely by disconnects — no reliance
+// on lease-expiry timing, so the test is exact under -race on slow
+// machines. Returns nil when the coordinator stops serving.
+func chunk0Refuser(addr string) error {
+	computed := 0
+	firstConn := true
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // listener closed: the run is over
+		}
+		fc := newFrameConn(conn)
+		jobFrame, err := fc.read()
+		if err != nil || jobFrame.Type != msgJob {
+			fc.close()
+			return nil
+		}
+		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false))
+		if err != nil {
+			fc.close()
+			return err
+		}
+		n := job.NumChunks()
+		if err := fc.write(&frame{Type: msgHello, Hello: helloMsg{SpecHash: job.SpecHash(), Capacity: 2}}); err != nil {
+			fc.close()
+			return nil
+		}
+		ws := job.NewScratch()
+		dead := false
+		for !dead {
+			f, err := fc.read()
+			if err != nil || f.Type != msgLease {
+				fc.close()
+				return nil // done/error farewell or coordinator close
+			}
+			if f.Lease.Chunk == 0 {
+				if !firstConn {
+					dead = true // second grant: die at once, exhausting it
+				}
+				continue // first grant: hold silently, keep serving others
+			}
+			cp, err := job.RunChunk(context.Background(), f.Lease.Chunk, ws)
+			if err != nil {
+				fc.close()
+				return err
+			}
+			if err := fc.write(&frame{Type: msgResult, Result: *cp}); err != nil {
+				fc.close()
+				return nil
+			}
+			computed++
+			if computed == n-1 {
+				dead = true // everything but chunk 0 done: die holding it
+			}
+		}
+		fc.close() // abrupt: the held chunk-0 lease is released for re-lease
+		firstConn = false
+	}
+}
+
+// TestShardCheckpointResumeRetriesOnlyFailed is the coordinator-side
+// resume regression: a run whose worker refuses chunk 0 fails with a
+// ChunkError naming exactly that chunk, the other chunks having been
+// checkpointed through OnChunk on the way down — and a second run
+// pre-seeded with those checkpoints re-leases only chunk 0 and folds a
+// report byte-identical to the unfailed run.
+func TestShardCheckpointResumeRetriesOnlyFailed(t *testing.T) {
+	cfg := testConfig()
+	wantCSV, _ := renderRun(t, cfg)
+	job, err := fleet.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := job.NumChunks()
+
+	// First run: checkpoint every completed chunk; chunk 0 exhausts.
+	var mu sync.Mutex
+	checkpointed := map[int]*fleet.ChunkPartial{}
+	var workerWG sync.WaitGroup
+	workerErr := error(nil)
+	ln := listen(t)
+	workerWG.Add(1)
+	go func() {
+		defer workerWG.Done()
+		workerErr = chunk0Refuser(ln.Addr().String())
+	}()
+	_, err = Serve(context.Background(), ln, cfg, Options{
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		OnChunk: func(cp *fleet.ChunkPartial) error {
+			mu.Lock()
+			checkpointed[cp.Chunk] = cp
+			mu.Unlock()
+			return nil
+		},
+	})
+	workerWG.Wait()
+	if workerErr != nil {
+		t.Fatalf("refusing worker: %v", workerErr)
+	}
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("failed run returned %v (%T), want *ChunkError", err, err)
+	}
+	if len(ce.Failed) != 1 || ce.Failed[0] != 0 {
+		t.Fatalf("ChunkError.Failed = %v, want [0]", ce.Failed)
+	}
+	if !strings.Contains(err.Error(), "lease attempts") {
+		t.Fatalf("ChunkError message %q lost the lease-attempts marker", err)
+	}
+	if len(checkpointed) != n-1 {
+		t.Fatalf("failed run checkpointed %d chunks, want %d (all but the refused one)", len(checkpointed), n-1)
+	}
+	if _, ok := checkpointed[0]; ok {
+		t.Fatal("the refused chunk was checkpointed")
+	}
+
+	// Resume: pre-seed the survivors; only chunk 0 should be computed.
+	completed := make([]*fleet.ChunkPartial, 0, n-1)
+	for _, cp := range checkpointed {
+		completed = append(completed, cp)
+	}
+	var recomputed []int
+	res, errs := serveWith(t, cfg, Options{
+		RetryBackoff: time.Millisecond,
+		Completed:    completed,
+		OnChunk: func(cp *fleet.ChunkPartial) error {
+			mu.Lock()
+			recomputed = append(recomputed, cp.Chunk)
+			mu.Unlock()
+			return nil
+		},
+	}, worker(2, WorkerOptions{}))
+	if errs[0] != nil {
+		t.Fatalf("resume worker: %v", errs[0])
+	}
+	if len(recomputed) != 1 || recomputed[0] != 0 {
+		t.Fatalf("resume recomputed chunks %v, want exactly [0]", recomputed)
+	}
+	gotCSV, _ := renderResult(t, res)
+	if gotCSV != wantCSV {
+		t.Fatal("resumed report differs from the unfailed run")
+	}
+}
+
+// TestShardCompletedAllChunks: a run pre-seeded with every chunk folds
+// and returns without leasing anything — no workers ever connect.
+func TestShardCompletedAllChunks(t *testing.T) {
+	cfg := testConfig()
+	wantCSV, _ := renderRun(t, cfg)
+	job, err := fleet.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := make([]*fleet.ChunkPartial, job.NumChunks())
+	for ci := range completed {
+		cp, err := job.RunChunk(context.Background(), ci, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed[ci] = cp
+	}
+	res, err := Serve(context.Background(), listen(t), cfg, Options{Completed: completed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCSV, _ := renderResult(t, res)
+	if gotCSV != wantCSV {
+		t.Fatal("fully pre-seeded report differs from fleet.Run")
+	}
+}
+
+// TestShardCompletedValidation: partials that cannot belong to the job
+// are rejected before the listener accepts any worker.
+func TestShardCompletedValidation(t *testing.T) {
+	cfg := testConfig()
+	job, err := fleet.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := job.RunChunk(context.Background(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outOfRange := *cp
+	outOfRange.Chunk = job.NumChunks()
+	if _, err := Serve(context.Background(), listen(t), cfg, Options{Completed: []*fleet.ChunkPartial{&outOfRange}}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range completed chunk accepted: %v", err)
+	}
+
+	wrongGrid := *cp
+	wrongGrid.Cohorts = wrongGrid.Cohorts[:1]
+	if _, err := Serve(context.Background(), listen(t), cfg, Options{Completed: []*fleet.ChunkPartial{&wrongGrid}}); err == nil || !strings.Contains(err.Error(), "cohorts") {
+		t.Fatalf("wrong-grid completed chunk accepted: %v", err)
+	}
+}
+
+// TestShardOnChunkErrorFailsRun: a checkpoint hook error is a hard
+// failure, not a warning — losing durability silently would defeat the
+// resume guarantee.
+func TestShardOnChunkErrorFailsRun(t *testing.T) {
+	ln := listen(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Work(context.Background(), ln.Addr().String(), 2, WorkerOptions{})
+	}()
+	_, err := Serve(context.Background(), ln, testConfig(), Options{
+		OnChunk: func(cp *fleet.ChunkPartial) error {
+			return fmt.Errorf("disk full")
+		},
+	})
+	wg.Wait()
+	if err == nil || !strings.Contains(err.Error(), "checkpointing chunk") || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("OnChunk failure did not fail the run: %v", err)
+	}
 }
 
 // TestShardServeCanceled: ctx cancellation aborts a run with no workers.
