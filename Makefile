@@ -45,7 +45,9 @@ BENCH_MIN ?= 1000000
 bench-compare:
 	cp BENCH_sim.json BENCH_sim.base.json
 	$(MAKE) bench-short
-	status=0; $(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) -min $(BENCH_MIN) BENCH_sim.base.json BENCH_sim.json || status=$$?; \
+	status=0; $(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) -min $(BENCH_MIN) \
+		-metric devices/sec:+ -metric memo-hit-rate:+ \
+		BENCH_sim.base.json BENCH_sim.json || status=$$?; \
 	rm -f BENCH_sim.base.json; exit $$status
 
 # Fault-injection sweep: seeded trials with harvester outages injected
@@ -64,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConnect -fuzztime=5s ./internal/storage
 	$(GO) test -run='^$$' -fuzz=FuzzCommitAtomicity -fuzztime=5s ./internal/task
 	$(GO) test -run='^$$' -fuzz=FuzzPartialDecode -fuzztime=5s ./internal/fleetsvc
+	$(GO) test -run='^$$' -fuzz=FuzzBatchSplit -fuzztime=5s ./internal/fleet
 
 # Distributed-path smoke: launch a loopback coordinator plus two
 # worker processes (real capyfleet binaries, not in-process goroutines)

@@ -313,6 +313,48 @@ func BenchmarkFleetBaseline(b *testing.B) {
 	b.ReportMetric(res.DevicesSec, "devices/sec")
 }
 
+// BenchmarkFleetBatch measures the batch-lockstep execution path in
+// isolation: the BenchmarkFleet workload at -jobs=1 with unlimited
+// replay width, so the devices/sec delta against BenchmarkFleetScalar
+// is purely the batch engine (no scheduling noise from the worker
+// pool). batch-replay-rate is the fraction of device operations
+// answered by replaying a batch leader's solve; batch-mean-width is
+// how many devices, on average, advanced through one solve. The
+// report is byte-identical to the scalar path's
+// (TestFleetBatchInvariant).
+func BenchmarkFleetBatch(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		cfg := fleetBenchConfig()
+		cfg.Jobs = 1
+		r, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+	b.ReportMetric(res.Batch.HitRate(), "batch-replay-rate")
+	b.ReportMetric(res.Batch.MeanWidth(), "batch-mean-width")
+}
+
+// BenchmarkFleetScalar is BenchmarkFleetBatch's control: identical
+// workload and -jobs=1, batch path disabled (fleet.Config.Batch < 0).
+func BenchmarkFleetScalar(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		cfg := fleetBenchConfig()
+		cfg.Jobs = 1
+		cfg.Batch = -1
+		r, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+}
+
 // BenchmarkFleetSharded runs the BenchmarkFleet workload through the
 // distributed path: a loopback TCP coordinator leasing chunks to two
 // in-process workers (internal/shard). The report is byte-identical to

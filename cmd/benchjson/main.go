@@ -24,6 +24,17 @@
 // ns/op is below -min are likewise reported but never fail: at one
 // iteration a microsecond-scale benchmark's timing is dominated by
 // scheduling noise, not by the code under test.
+//
+// Custom ReportMetric series gate too, with an explicit direction —
+// ns/op always reads "lower is better", but devices/sec does not:
+//
+//	benchjson -compare -metric devices/sec:+ -metric memo-hit-rate:+:0.05 old.json new.json
+//
+// Each -metric is name:dir[:threshold]: dir is '+' (higher is better,
+// a drop fails) or '-' (lower is better, a rise fails); the optional
+// threshold overrides -threshold for that metric. A gated metric
+// missing from either side is reported but never fails — same policy
+// as added/removed benchmarks.
 package main
 
 import (
@@ -55,11 +66,63 @@ type File struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// metricGate is one parsed -metric flag: a named custom metric to
+// compare, the direction that counts as a regression, and an optional
+// per-metric threshold (negative means "inherit -threshold").
+type metricGate struct {
+	name         string
+	higherBetter bool
+	threshold    float64
+}
+
+// metricGates implements flag.Value so -metric repeats.
+type metricGates []metricGate
+
+func (g *metricGates) String() string {
+	var parts []string
+	for _, m := range *g {
+		dir := "-"
+		if m.higherBetter {
+			dir = "+"
+		}
+		parts = append(parts, m.name+":"+dir)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *metricGates) Set(s string) error {
+	// name:dir[:threshold] — split from the right so metric names may
+	// themselves contain ':'-free slashes like devices/sec.
+	rest := s
+	thr := -1.0
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+			if v < 0 {
+				return fmt.Errorf("metric %q: threshold must be >= 0", s)
+			}
+			thr = v
+			rest = rest[:i]
+		}
+	}
+	i := strings.LastIndexByte(rest, ':')
+	if i <= 0 || i != len(rest)-2 {
+		return fmt.Errorf("metric %q: want name:dir[:threshold] with dir '+' or '-'", s)
+	}
+	name, dir := rest[:i], rest[i+1:]
+	if dir != "+" && dir != "-" {
+		return fmt.Errorf("metric %q: direction must be '+' (higher is better) or '-' (lower is better)", s)
+	}
+	*g = append(*g, metricGate{name: name, higherBetter: dir == "+", threshold: thr})
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file")
 	compare := flag.Bool("compare", false, "compare two trajectory files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.25, "ns/op regression fraction that fails -compare (0.25 = 25% slower)")
 	minNs := flag.Float64("min", 0, "old ns/op below this never fails -compare (noise floor for short runs)")
+	var gates metricGates
+	flag.Var(&gates, "metric", "gate a custom metric in -compare: name:dir[:threshold], dir '+' = higher is better (repeatable)")
 	flag.Parse()
 
 	if *compare {
@@ -67,7 +130,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *minNs, os.Stdout)
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *minNs, gates, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -92,7 +155,7 @@ func main() {
 // table. It returns true when any benchmark present in both files is
 // slower in new by more than threshold (and above the minNs noise
 // floor).
-func runCompare(oldPath, newPath string, threshold, minNs float64, w io.Writer) (bool, error) {
+func runCompare(oldPath, newPath string, threshold, minNs float64, gates metricGates, w io.Writer) (bool, error) {
 	oldFile, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -101,13 +164,13 @@ func runCompare(oldPath, newPath string, threshold, minNs float64, w io.Writer) 
 	if err != nil {
 		return false, err
 	}
-	return diff(oldFile, newFile, threshold, minNs, w), nil
+	return diff(oldFile, newFile, threshold, minNs, gates, w), nil
 }
 
 // diff writes the comparison table and reports whether the gate fails.
 // Benchmarks are keyed by name; ordering follows the new file so the
 // table tracks the current benchmark suite.
-func diff(oldFile, newFile *File, threshold, minNs float64, w io.Writer) bool {
+func diff(oldFile, newFile *File, threshold, minNs float64, gates metricGates, w io.Writer) bool {
 	old := make(map[string]Result, len(oldFile.Benchmarks))
 	for _, r := range oldFile.Benchmarks {
 		old[r.Name] = r
@@ -136,6 +199,9 @@ func diff(oldFile, newFile *File, threshold, minNs float64, w io.Writer) bool {
 			regressed = true
 		}
 		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%%s\n", r.Name, prev.NsPerOp, r.NsPerOp, 100*delta, mark)
+		if diffMetrics(prev, r, threshold, gates, w) {
+			regressed = true
+		}
 	}
 	var removed []string
 	for name := range old {
@@ -148,9 +214,51 @@ func diff(oldFile, newFile *File, threshold, minNs float64, w io.Writer) bool {
 		fmt.Fprintf(w, "%-32s %14.0f %14s %9s\n", name, old[name].NsPerOp, "-", "removed")
 	}
 	if regressed {
-		fmt.Fprintf(w, "FAIL: ns/op regression above %.0f%% threshold\n", 100*threshold)
+		fmt.Fprintf(w, "FAIL: regression above threshold (ns/op %.0f%%, or a gated metric)\n", 100*threshold)
 	}
 	return regressed
+}
+
+// diffMetrics renders the gated custom-metric rows for one benchmark
+// pair and reports whether any gate failed. Gates are direction-aware:
+// '+' metrics fail when they drop, '-' metrics fail when they rise.
+func diffMetrics(prev, r Result, threshold float64, gates metricGates, w io.Writer) bool {
+	failed := false
+	for _, g := range gates {
+		oldV, oldOK := prev.Metrics[g.name]
+		newV, newOK := r.Metrics[g.name]
+		label := "  " + r.Name + " " + g.name
+		switch {
+		case !oldOK && !newOK:
+			continue // this benchmark doesn't report the metric
+		case !oldOK:
+			fmt.Fprintf(w, "%-32s %14s %14g %9s\n", label, "-", newV, "added")
+			continue
+		case !newOK:
+			fmt.Fprintf(w, "%-32s %14g %14s %9s\n", label, oldV, "-", "removed")
+			continue
+		case oldV == 0:
+			fmt.Fprintf(w, "%-32s %14g %14g %9s\n", label, oldV, newV, "n/a")
+			continue
+		}
+		thr := g.threshold
+		if thr < 0 {
+			thr = threshold
+		}
+		// delta is oriented so positive always means "worse".
+		delta := newV/oldV - 1
+		if g.higherBetter {
+			delta = -delta
+		}
+		mark := ""
+		if delta > thr {
+			mark = "  FAIL"
+			failed = true
+		}
+		change := 100 * (newV/oldV - 1)
+		fmt.Fprintf(w, "%-32s %14g %14g %+8.1f%%%s\n", label, oldV, newV, change, mark)
+	}
+	return failed
 }
 
 // load reads a trajectory file written by a previous benchjson run.

@@ -36,7 +36,7 @@ func TestCompareGate(t *testing.T) {
 		{Name: "Brand", NsPerOp: 7},
 	}})
 	var out bytes.Buffer
-	regressed, err := runCompare(oldPath, okPath, 0.25, 0, &out)
+	regressed, err := runCompare(oldPath, okPath, 0.25, 0, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCompareGate(t *testing.T) {
 		{Name: "Figure8", NsPerOp: 500},
 	}})
 	out.Reset()
-	regressed, err = runCompare(oldPath, badPath, 0.25, 0, &out)
+	regressed, err = runCompare(oldPath, badPath, 0.25, 0, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestCompareGate(t *testing.T) {
 
 	// The same delta passes a looser gate.
 	out.Reset()
-	regressed, err = runCompare(oldPath, badPath, 0.75, 0, &out)
+	regressed, err = runCompare(oldPath, badPath, 0.75, 0, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +83,10 @@ func TestCompareGate(t *testing.T) {
 func TestCompareThresholdBoundary(t *testing.T) {
 	oldFile := &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1000}}}
 	var out bytes.Buffer
-	if diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1250}}}, 0.25, 0, &out) {
+	if diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1250}}}, 0.25, 0, nil, &out) {
 		t.Fatal("exactly-at-threshold delta failed")
 	}
-	if !diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1260}}}, 0.25, 0, &out) {
+	if !diff(oldFile, &File{Benchmarks: []Result{{Name: "B", NsPerOp: 1260}}}, 0.25, 0, nil, &out) {
 		t.Fatal("above-threshold delta passed")
 	}
 }
@@ -105,7 +105,7 @@ func TestCompareNoiseFloor(t *testing.T) {
 		{Name: "Big", NsPerOp: 11_000_000},
 	}}
 	var out bytes.Buffer
-	if diff(oldFile, newFile, 0.25, 1_000_000, &out) {
+	if diff(oldFile, newFile, 0.25, 1_000_000, nil, &out) {
 		t.Fatalf("sub-floor regression failed the gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "noise floor") {
@@ -115,8 +115,95 @@ func TestCompareNoiseFloor(t *testing.T) {
 	// The same floor does not shield a benchmark at/above it.
 	newFile.Benchmarks[1].NsPerOp = 20_000_000
 	out.Reset()
-	if !diff(oldFile, newFile, 0.25, 1_000_000, &out) {
+	if !diff(oldFile, newFile, 0.25, 1_000_000, nil, &out) {
 		t.Fatalf("above-floor regression passed:\n%s", out.String())
+	}
+}
+
+// TestCompareMetricGates: custom metrics gate direction-aware — a '+'
+// metric fails when it drops, a '-' metric fails when it rises, and a
+// per-metric threshold overrides the global one. Metrics missing on
+// either side are reported without failing.
+func TestCompareMetricGates(t *testing.T) {
+	oldFile := &File{Benchmarks: []Result{
+		{Name: "Fleet", NsPerOp: 1000, Metrics: map[string]float64{
+			"devices/sec": 500, "memo-hit-rate": 0.80, "waste-rate": 0.10,
+		}},
+	}}
+	gates := metricGates{
+		{name: "devices/sec", higherBetter: true, threshold: -1},
+		{name: "waste-rate", higherBetter: false, threshold: -1},
+		{name: "memo-hit-rate", higherBetter: true, threshold: 0.05},
+		{name: "ghost", higherBetter: true, threshold: -1},
+	}
+	run := func(m map[string]float64) (bool, string) {
+		var out bytes.Buffer
+		newFile := &File{Benchmarks: []Result{{Name: "Fleet", NsPerOp: 1000, Metrics: m}}}
+		return diff(oldFile, newFile, 0.25, 0, gates, &out), out.String()
+	}
+
+	// Everything improves: faster, hotter cache, less waste.
+	if failed, out := run(map[string]float64{
+		"devices/sec": 700, "memo-hit-rate": 0.85, "waste-rate": 0.05,
+	}); failed {
+		t.Fatalf("improvements failed the gate:\n%s", out)
+	}
+
+	// devices/sec collapses by half: a 50% drop on a 25% threshold fails.
+	if failed, out := run(map[string]float64{
+		"devices/sec": 250, "memo-hit-rate": 0.80, "waste-rate": 0.10,
+	}); !failed {
+		t.Fatalf("halved devices/sec passed:\n%s", out)
+	}
+
+	// A lower-is-better metric rising 50% fails too.
+	if failed, out := run(map[string]float64{
+		"devices/sec": 500, "memo-hit-rate": 0.80, "waste-rate": 0.15,
+	}); !failed {
+		t.Fatalf("risen waste-rate passed:\n%s", out)
+	}
+
+	// The tight per-metric threshold bites where the global one would
+	// not: a 10% hit-rate drop is under 25% but over 5%.
+	if failed, out := run(map[string]float64{
+		"devices/sec": 500, "memo-hit-rate": 0.72, "waste-rate": 0.10,
+	}); !failed {
+		t.Fatalf("10%% hit-rate drop passed a 5%% metric threshold:\n%s", out)
+	}
+
+	// A metric present only in old is "removed", not a failure; the
+	// never-present "ghost" gate stays silent.
+	failed, out := run(map[string]float64{"devices/sec": 500})
+	if failed {
+		t.Fatalf("missing metrics failed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "removed") {
+		t.Fatalf("dropped metric not reported:\n%s", out)
+	}
+	if strings.Contains(out, "ghost") {
+		t.Fatalf("ghost metric reported:\n%s", out)
+	}
+}
+
+// TestMetricGateParsing: the name:dir[:threshold] flag grammar.
+func TestMetricGateParsing(t *testing.T) {
+	var g metricGates
+	for _, ok := range []string{"devices/sec:+", "waste-rate:-", "memo-hit-rate:+:0.05"} {
+		if err := g.Set(ok); err != nil {
+			t.Fatalf("Set(%q): %v", ok, err)
+		}
+	}
+	if len(g) != 3 || !g[0].higherBetter || g[1].higherBetter || g[2].threshold != 0.05 {
+		t.Fatalf("parsed gates wrong: %+v", g)
+	}
+	if g[0].threshold >= 0 || g[1].threshold >= 0 {
+		t.Fatalf("missing thresholds should be negative (inherit): %+v", g)
+	}
+	for _, bad := range []string{"noflag", "name:*", "name:+:-0.5", "name:0.5", ":+"} {
+		var b metricGates
+		if err := b.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
 	}
 }
 
@@ -125,17 +212,17 @@ func TestCompareMissingFile(t *testing.T) {
 	dir := t.TempDir()
 	real := writeFile(t, dir, "real.json", &File{})
 	var out bytes.Buffer
-	if _, err := runCompare(filepath.Join(dir, "absent.json"), real, 0.25, 0, &out); err == nil {
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), real, 0.25, 0, nil, &out); err == nil {
 		t.Fatal("missing old file accepted")
 	}
-	if _, err := runCompare(real, filepath.Join(dir, "absent.json"), 0.25, 0, &out); err == nil {
+	if _, err := runCompare(real, filepath.Join(dir, "absent.json"), 0.25, 0, nil, &out); err == nil {
 		t.Fatal("missing new file accepted")
 	}
 	garbled := filepath.Join(dir, "garbled.json")
 	if err := os.WriteFile(garbled, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runCompare(garbled, real, 0.25, 0, &out); err == nil {
+	if _, err := runCompare(garbled, real, 0.25, 0, nil, &out); err == nil {
 		t.Fatal("garbled old file accepted")
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	capyfleet -n 10000 [-seed S] [-jobs N] [-scale F] [-json] [-o FILE]
-//	          [-memo=false] [-cache N] [-recycle=false]
+//	          [-memo=false] [-cache N] [-recycle=false] [-batch N]
 //	          [-cpuprofile F] [-memprofile F]
 //
 // Sharded (multi-process) mode splits one run across machines:
@@ -64,6 +64,7 @@ type options struct {
 	noMemo    bool
 	cacheSize int
 	noRecycle bool
+	batch     int
 
 	serveAddr    string
 	connectAddr  string
@@ -178,6 +179,7 @@ func main() {
 	flag.StringVar(&o.out, "o", "", "write the report to this file instead of stdout")
 	memo := flag.Bool("memo", true, "enable per-worker charge-solve memoization")
 	flag.IntVar(&o.cacheSize, "cache", 0, "memo cache entries per worker (0 = default)")
+	flag.IntVar(&o.batch, "batch", 1024, "device-op batch replay width cap (0 = scalar path, < 0 = unlimited)")
 	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
 	flag.IntVar(&o.chunk, "chunk", 0, "devices per chunk — the checkpoint/lease granularity (0 = default)")
 	flag.StringVar(&o.serveAddr, "serve", "", "run as shard coordinator listening on this address (host:port); workers join with -connect")
@@ -235,6 +237,20 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// configBatch maps the -batch flag onto fleet.Config.Batch: the flag
+// reads naturally (0 = off, N = width cap, negative = unlimited) while
+// the engine field uses < 0 = scalar, 0 = unlimited, >= 1 = cap.
+func (o *options) configBatch() int {
+	switch {
+	case o.batch == 0:
+		return -1 // scalar escape hatch
+	case o.batch < 0:
+		return 0 // unlimited replay width
+	default:
+		return o.batch
+	}
+}
+
 func (o *options) fleetConfig() fleet.Config {
 	return fleet.Config{
 		N:         o.n,
@@ -245,6 +261,7 @@ func (o *options) fleetConfig() fleet.Config {
 		NoMemo:    o.noMemo,
 		CacheSize: o.cacheSize,
 		NoRecycle: o.noRecycle,
+		Batch:     o.configBatch(),
 	}
 }
 
@@ -369,6 +386,7 @@ func runWorker(o *options) error {
 		NoMemo:    o.noMemo,
 		CacheSize: o.cacheSize,
 		NoRecycle: o.noRecycle,
+		Batch:     o.configBatch(),
 		DialRetry: o.dialRetry,
 	})
 	if err != nil {

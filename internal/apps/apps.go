@@ -193,6 +193,7 @@ func buildConfig(variant core.Variant, src harvest.Source,
 		} else {
 			cfg.NoMemo = true
 		}
+		cfg.Ops = scr.Ops
 	}
 	switch variant {
 	case core.Continuous, core.Fixed:

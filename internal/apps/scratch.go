@@ -36,6 +36,11 @@ type Scratch struct {
 	// instance entirely. Either way results are bit-identical to the
 	// uncached solver (see power/memo.go) — only speed changes.
 	Memo *power.SegmentCache
+	// Ops, when non-nil, attaches the device-op replay cache — the
+	// fleet engine's batch execution path (see sim.OpCache). Replays
+	// are byte-identical to direct solves for every report-visible
+	// quantity; nil leaves the scalar path in effect.
+	Ops *sim.OpCache
 }
 
 // Reset clears the run state for the next device. Backing storage and

@@ -107,6 +107,32 @@ type Runtime struct {
 	// counts preburst charge-ahead operations.
 	Reconfigs  int
 	Precharges int
+
+	// modeMemo memoizes recent ModeTable lookups. The table is fixed
+	// after New and the task loop resolves the same one or two mode
+	// names for long stretches (a preburst task probes its burst and
+	// exec modes every iteration), so the map probe on every task
+	// iteration collapses to a couple of string compares.
+	modeMemo [2]struct {
+		name task.EnergyMode
+		m    Mode
+		ok   bool
+	}
+	modeNext uint8
+}
+
+// mode resolves name against the mode table through the memo.
+func (r *Runtime) mode(name task.EnergyMode) (Mode, bool) {
+	for i := range r.modeMemo {
+		if e := &r.modeMemo[i]; e.name == name {
+			return e.m, e.ok
+		}
+	}
+	m, ok := r.Modes[name]
+	e := &r.modeMemo[r.modeNext]
+	r.modeNext = 1 - r.modeNext
+	e.name, e.m, e.ok = name, m, ok
+	return m, ok
 }
 
 var _ task.PowerManager = (*Runtime)(nil)
@@ -181,7 +207,7 @@ func (r *Runtime) prepareCapyR(t *task.Task, deadline units.Seconds) bool {
 	if name == task.ModeNone {
 		return true
 	}
-	m, ok := r.Modes[name]
+	m, ok := r.mode(name)
 	if !ok {
 		return true // unmapped mode: run on the current configuration
 	}
@@ -192,7 +218,7 @@ func (r *Runtime) prepareCapyP(t *task.Task, deadline units.Seconds) bool {
 	// Burst: re-activate the pre-charged banks and run immediately —
 	// no charge pause (§4.2).
 	if t.Burst != task.ModeNone {
-		if m, ok := r.Modes[t.Burst]; ok {
+		if m, ok := r.mode(t.Burst); ok {
 			r.configure(m.Mask)
 		}
 		return true
@@ -200,8 +226,8 @@ func (r *Runtime) prepareCapyP(t *task.Task, deadline units.Seconds) bool {
 	// Preburst: charge the burst mode ahead of time, then configure
 	// and charge the exec mode, then run (§4.2's four steps).
 	if t.PreburstBurst != task.ModeNone {
-		bm, okB := r.Modes[t.PreburstBurst]
-		em, okE := r.Modes[t.PreburstExec]
+		bm, okB := r.mode(t.PreburstBurst)
+		em, okE := r.mode(t.PreburstExec)
 		ceiling := bm.vTop() - reservoir.PrechargeDeficit
 		if okB {
 			// The switch circuit can pre-charge a bank only to a
@@ -234,7 +260,7 @@ func (r *Runtime) prepareCapyP(t *task.Task, deadline units.Seconds) bool {
 		return true
 	}
 	if t.Config != task.ModeNone {
-		if m, ok := r.Modes[t.Config]; ok {
+		if m, ok := r.mode(t.Config); ok {
 			return r.enterMode(m, m.vTop(), deadline)
 		}
 	}
@@ -306,6 +332,11 @@ type Config struct {
 	// fresh per-instance one (the fleet engine shares one per worker).
 	// Ignored when NoMemo is set.
 	Memo *power.SegmentCache
+	// Ops, when non-nil, attaches a caller-owned device-op replay
+	// cache (the fleet engine's batch path; see sim.OpCache). Replays
+	// are byte-identical to direct solves, so attaching one never
+	// changes results — only speed.
+	Ops *sim.OpCache
 }
 
 // Instance is a ready-to-run platform: device, runtime, and engine.
@@ -353,6 +384,7 @@ func New(cfg Config, prog *task.Program) (*Instance, error) {
 	dev := sim.NewDevice(sys, arr, cfg.MCU)
 	dev.Continuous = cfg.Variant == Continuous
 	dev.Trace = cfg.Trace
+	dev.Ops = cfg.Ops
 	rt := &Runtime{Dev: dev, Modes: modes, Variant: cfg.Variant}
 	eng := task.NewEngine(dev, prog, rt)
 	return &Instance{Dev: dev, Runtime: rt, Engine: eng}, nil

@@ -94,6 +94,30 @@ func (s Schedule) ActiveAt(t units.Seconds) (Event, bool) {
 	return Event{}, false
 }
 
+// activeAtHint is ActiveAt with a cursor: it walks hint to the first
+// event ending after t and stores it back. Sensing rigs query with a
+// near-monotonic clock, so the walk is amortized O(1) where the binary
+// search pays its full log on every call. The result is identical to
+// ActiveAt for any t and any starting hint.
+func (s Schedule) activeAtHint(t units.Seconds, hint *int) (Event, bool) {
+	n := len(s.Events)
+	i := *hint
+	if i > n {
+		i = n
+	}
+	for i > 0 && s.Events[i-1].End() > t {
+		i--
+	}
+	for i < n && s.Events[i].End() <= t {
+		i++
+	}
+	*hint = i
+	if i < n && s.Events[i].At <= t {
+		return s.Events[i], true
+	}
+	return Event{}, false
+}
+
 // NextAfter returns the first event starting at or after t, if any.
 func (s Schedule) NextAfter(t units.Seconds) (Event, bool) {
 	i := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].At >= t })
@@ -129,6 +153,9 @@ type Pendulum struct {
 	// "the APDS sensor is activated following a proximity detection
 	// but does not report a gesture"). Zero disables flakiness.
 	FlakyEvery int
+
+	// cur is the event cursor for the rig's near-monotonic queries.
+	cur int
 }
 
 // NewPendulum builds the rig with the default classification deadline
@@ -140,7 +167,7 @@ func NewPendulum(s Schedule) *Pendulum {
 // ObjectPresent reports whether the pendulum is over the board at t —
 // what the phototransistor (GRC) or magnetometer (CSR) observes.
 func (p *Pendulum) ObjectPresent(t units.Seconds) bool {
-	_, ok := p.Schedule.ActiveAt(t)
+	_, ok := p.Schedule.activeAtHint(t, &p.cur)
 	return ok
 }
 
@@ -179,7 +206,7 @@ func (g GestureOutcome) String() string {
 // lasting opTime. It returns the outcome and the event observed (for
 // correct and misclassified outcomes).
 func (p *Pendulum) Sense(start, opTime units.Seconds) (GestureOutcome, Event) {
-	ev, ok := p.Schedule.ActiveAt(start)
+	ev, ok := p.Schedule.activeAtHint(start, &p.cur)
 	if !ok {
 		return GestureMissed, Event{}
 	}
@@ -205,6 +232,9 @@ type Thermal struct {
 	Low, High float64
 	// Period is the benign oscillation period of the control loop.
 	Period units.Seconds
+
+	// cur is the event cursor for the rig's near-monotonic queries.
+	cur int
 }
 
 // NewThermal builds the default plant: 20–30 °C band with a 60 s
@@ -218,7 +248,7 @@ func (th *Thermal) Temperature(t units.Seconds) float64 {
 	mid := (th.Low + th.High) / 2
 	amp := (th.High - th.Low) / 2 * 0.8 // stays inside the band
 	base := mid + amp*math.Sin(2*math.Pi*float64(t)/float64(th.Period))
-	if ev, ok := th.Schedule.ActiveAt(t); ok {
+	if ev, ok := th.Schedule.activeAtHint(t, &th.cur); ok {
 		if ev.Value >= 0 {
 			return th.High + 2 + ev.Value
 		}

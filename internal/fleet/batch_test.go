@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// renderBoth runs cfg and returns the canonical CSV and JSON bytes.
+func renderBoth(t testing.TB, cfg Config) (string, string) {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, js bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), js.String()
+}
+
+// TestFleetBatchInvariant: the batch execution path must not change a
+// byte of the report versus the scalar path, at width 1 (degenerate
+// batches), small caps that force constant splitting, and unlimited
+// width. This is the engine's soundness contract — replayed operations
+// reproduce the exact float trajectory of the solves they skip.
+func TestFleetBatchInvariant(t *testing.T) {
+	scalar := testConfig(2, false)
+	scalar.Batch = -1
+	wantCSV, wantJSON := renderBoth(t, scalar)
+	for _, width := range []int{1, 2, 7, 0} {
+		cfg := testConfig(2, false)
+		cfg.Batch = width
+		csv, js := renderBoth(t, cfg)
+		if csv != wantCSV {
+			t.Fatalf("batch width %d changed the CSV report:\n--- scalar ---\n%s--- batch ---\n%s",
+				width, wantCSV, csv)
+		}
+		if js != wantJSON {
+			t.Fatalf("batch width %d changed the JSON report", width)
+		}
+	}
+}
+
+// TestFleetBatchProperty: randomized specs, seeds, and widths. For each
+// random spec the scalar report is the oracle; the batch path at a
+// random width cap (and the knobs most likely to interact with it —
+// memo off, multiple workers) must reproduce it byte for byte.
+func TestFleetBatchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		spec := Config{
+			N:     1 + rng.Intn(96),
+			Seed:  rng.Int63(),
+			Scale: 0.01 + 0.05*rng.Float64(),
+		}
+		scalar := spec
+		scalar.Batch = -1
+		scalar.Jobs = 1
+		wantCSV, wantJSON := renderBoth(t, scalar)
+
+		cfg := spec
+		cfg.Batch = []int{0, 1, 1 + rng.Intn(64)}[rng.Intn(3)]
+		cfg.Jobs = 1 + rng.Intn(4)
+		cfg.NoMemo = rng.Intn(2) == 0
+		csv, js := renderBoth(t, cfg)
+		if csv != wantCSV {
+			t.Fatalf("trial %d (%+v vs scalar %+v): CSV differs:\n--- scalar ---\n%s--- batch ---\n%s",
+				trial, cfg, scalar, wantCSV, csv)
+		}
+		if js != wantJSON {
+			t.Fatalf("trial %d (%+v): JSON differs", trial, cfg)
+		}
+	}
+}
+
+// FuzzBatchSplit fuzzes the divergence-split machinery: the fuzzer
+// picks the population, seed, event scale, and replay width cap, which
+// together determine where device trajectories split from and re-merge
+// into shared batches (width 1 and tiny caps force splits at every
+// adversarial boundary). Any byte of report divergence from the scalar
+// oracle is a crash. Scalar references are memoized per spec so the
+// fuzzer spends its budget exploring widths, not re-solving oracles.
+func FuzzBatchSplit(f *testing.F) {
+	f.Add(int64(1), uint8(48), uint8(128), int16(1))
+	f.Add(int64(2), uint8(96), uint8(40), int16(2))
+	f.Add(int64(3), uint8(17), uint8(255), int16(0))
+	f.Add(int64(-5), uint8(64), uint8(0), int16(1000))
+
+	type specKey struct {
+		n     int
+		seed  int64
+		scale float64
+	}
+	oracle := map[specKey][2]string{}
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, scaleRaw uint8, width int16) {
+		key := specKey{
+			n:    1 + int(nRaw)%96,
+			seed: seed,
+			// Quantized into [0.01, 0.05] — small enough to keep one
+			// exec fast, coarse enough that specs recur and reuse the
+			// memoized oracle.
+			scale: 0.01 + 0.01*float64(scaleRaw%5),
+		}
+		want, ok := oracle[key]
+		if !ok {
+			scalar := Config{N: key.n, Seed: key.seed, Scale: key.scale, Jobs: 1, Batch: -1}
+			csv, js := renderBoth(t, scalar)
+			want = [2]string{csv, js}
+			oracle[key] = want
+		}
+		cfg := Config{N: key.n, Seed: key.seed, Scale: key.scale, Jobs: 1}
+		if width < 0 {
+			width = -width
+		}
+		cfg.Batch = int(width) // 0 = unlimited, else the cap
+		csv, js := renderBoth(t, cfg)
+		if csv != want[0] {
+			t.Fatalf("batch width %d diverged from scalar for %+v:\n--- scalar ---\n%s--- batch ---\n%s",
+				cfg.Batch, key, want[0], csv)
+		}
+		if js != want[1] {
+			t.Fatalf("batch width %d diverged from scalar (JSON) for %+v", cfg.Batch, key)
+		}
+	})
+}

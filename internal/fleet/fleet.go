@@ -48,6 +48,7 @@ import (
 	"capybara/internal/metrics"
 	"capybara/internal/power"
 	"capybara/internal/runner"
+	"capybara/internal/sim"
 	"capybara/internal/units"
 )
 
@@ -116,8 +117,25 @@ type Config struct {
 	// are identical either way; with Jobs=1 this is the single-device-
 	// loop baseline BenchmarkFleet's speedup is measured against.
 	NoRecycle bool
-	// CacheSize bounds each worker's memo cache (0 = default).
+	// CacheSize bounds each worker's per-cohort memo caches (0 =
+	// default).
 	CacheSize int
+	// Batch controls the batch execution path — the per-cohort device-op
+	// replay cache (sim.OpCache) that advances state-converged devices
+	// in lockstep through shared analytic segments:
+	//
+	//	 <0  disabled: every device runs the scalar path;
+	//	  0  enabled with unlimited batch width (the default);
+	//	>=1  enabled with the batch width capped at Batch devices per
+	//	     recorded solve (1 never replays — behaviorally scalar).
+	//
+	// Replays are byte-identical to scalar solves for everything the
+	// report contains, so the report is the same at any value; this is
+	// a perf/debug knob, excluded from the Spec like the other
+	// execution knobs. NoRecycle implies the scalar path (it builds
+	// every device without worker scratch, which is where the caches
+	// live).
+	Batch int
 	// ChunkSize is the number of consecutive devices folded per
 	// aggregation chunk (0 = 64). It must not vary with Jobs — chunk
 	// boundaries define the fold order the determinism guarantee
@@ -198,7 +216,13 @@ type Result struct {
 	Elapsed    time.Duration
 	DevicesSec float64
 	Cache      power.CacheStats
-	Workers    int
+	Batch      sim.OpCacheStats
+	// CohortCache/CohortBatch break the cache diagnostics down per
+	// cohort (grid order), so divergence-heavy cohorts are visible.
+	// Nil when the corresponding cache layer is off.
+	CohortCache []power.CacheStats
+	CohortBatch []sim.OpCacheStats
+	Workers     int
 }
 
 // cohortGrid builds the population grid: every application × variant ×
@@ -304,6 +328,18 @@ func (j *Job) simulate(d int, ws *Scratch, cp *ChunkPartial) error {
 	var scr *apps.Scratch
 	if !j.cfg.NoRecycle {
 		ws.scr.Reset()
+		// Caches are per cohort: within a cohort devices share banks,
+		// boosters, and sources, so their solves actually recur; split
+		// caches also give the per-cohort diagnostics for free.
+		ws.scr.Memo = ws.memoFor(j, ci)
+		if ops := ws.opsFor(j, ci); ops != nil {
+			ws.scr.Ops = ops
+			// A new device's first call is never a split/merge against
+			// the previous device's stream.
+			ops.BeginDevice()
+		} else {
+			ws.scr.Ops = nil
+		}
 		scr = &ws.scr
 	}
 	run, err := spec.Build(cohort.Variant, sched, nil, scr)

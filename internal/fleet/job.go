@@ -9,6 +9,7 @@ import (
 
 	"capybara/internal/apps"
 	"capybara/internal/power"
+	"capybara/internal/sim"
 	"capybara/internal/units"
 )
 
@@ -43,7 +44,7 @@ type Spec struct {
 // Config builds a Config from a received Spec plus local execution
 // knobs. Shard workers use it to reconstruct the coordinator's job with
 // their own parallelism and cache settings.
-func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool) Config {
+func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool, batch int) Config {
 	return Config{
 		N:         s.N,
 		Seed:      s.Seed,
@@ -53,6 +54,7 @@ func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool) Confi
 		NoMemo:    noMemo,
 		CacheSize: cacheSize,
 		NoRecycle: noRecycle,
+		Batch:     batch,
 	}
 }
 
@@ -154,35 +156,74 @@ func (j *Job) specHash() string {
 }
 
 // Scratch is one worker's recycled simulation state: the application
-// build scratch (recorder + shared memo cache) and the latency staging
-// buffer. Reusing one Scratch across many RunChunk calls is what makes
-// per-device cost simulation-bound; it is sound because scratch
-// contents never influence results (state containers are Reset per
-// device; memo hits are bit-identical to recomputes).
+// build scratch (recorder + caches), the latency staging buffer, and
+// the per-cohort cache pools. Reusing one Scratch across many RunChunk
+// calls is what makes per-device cost simulation-bound; it is sound
+// because scratch contents never influence results (state containers
+// are Reset per device; cache hits are bit-identical to recomputes).
 type Scratch struct {
 	scr apps.Scratch
 	lat []units.Seconds
+	// memo/ops hold one cache per cohort, allocated lazily the first
+	// time a device of that cohort runs on this worker. Per-cohort
+	// caches are what make the lookups pay (a cohort's devices share
+	// hardware and source, so their solves actually recur) and what the
+	// per-cohort diagnostics are cut from. A nil slice means that cache
+	// layer is disabled for the job.
+	memo []*power.SegmentCache
+	ops  []*sim.OpCache
 }
 
-// NewScratch builds a Scratch configured for this job (memo cache
-// allocated unless the job disables it).
+func (ws *Scratch) memoFor(j *Job, ci int) *power.SegmentCache {
+	if ws.memo == nil {
+		return nil
+	}
+	if ws.memo[ci] == nil {
+		ws.memo[ci] = power.NewSegmentCache(j.cfg.CacheSize)
+	}
+	return ws.memo[ci]
+}
+
+func (ws *Scratch) opsFor(j *Job, ci int) *sim.OpCache {
+	if ws.ops == nil {
+		return nil
+	}
+	if ws.ops[ci] == nil {
+		ws.ops[ci] = sim.NewOpCache(0, j.cfg.Batch)
+	}
+	return ws.ops[ci]
+}
+
+// NewScratch builds a Scratch configured for this job: per-cohort memo
+// caches unless the job disables memoization, and per-cohort op caches
+// when the batch path is enabled (Batch >= 0).
 func (j *Job) NewScratch() *Scratch {
 	ws := &Scratch{}
+	if j.cfg.NoRecycle {
+		return ws
+	}
 	if !j.cfg.NoMemo {
-		ws.scr.Memo = power.NewSegmentCache(j.cfg.CacheSize)
+		ws.memo = make([]*power.SegmentCache, len(j.grid))
+	}
+	if j.cfg.Batch >= 0 {
+		ws.ops = make([]*sim.OpCache, len(j.grid))
 	}
 	return ws
 }
 
 // ChunkPartial is one chunk's fold: per-cohort accumulators (indexed by
-// cohort-grid position; untouched cohorts stay zero) plus the memo
-// cache delta observed while running the chunk (diagnostic only). Every
+// cohort-grid position; untouched cohorts stay zero) plus the cache
+// deltas observed while running the chunk (diagnostic only). Every
 // field is exported and value-typed so partials round-trip through
 // gob/JSON for the shard wire protocol.
 type ChunkPartial struct {
 	Chunk   int
 	Cohorts []CohortAccum
 	Cache   power.CacheStats
+	// Memo/Ops are the per-cohort cache-stat deltas for this chunk
+	// (grid order); nil when the corresponding cache layer is off.
+	Memo []power.CacheStats
+	Ops  []sim.OpCacheStats
 }
 
 // RunChunk simulates chunk ci's devices and folds them into a fresh
@@ -199,14 +240,28 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 	if ws == nil {
 		ws = j.NewScratch()
 	}
-	cache := ws.scr.Memo
-	if j.cfg.NoRecycle {
-		cache = nil // per-instance caches; nothing worker-level to report
-	}
 	cp := &ChunkPartial{Chunk: ci, Cohorts: make([]CohortAccum, len(j.grid))}
-	var before power.CacheStats
-	if cache != nil {
-		before = cache.Stats()
+	// Snapshot the recycled caches so the chunk reports deltas: caches
+	// accumulate across chunks, and only deltas sum meaningfully. The
+	// lookup totals are deterministic; the hit/miss split depends on
+	// cache warmth, which is why all of this is diagnostic only.
+	var memoBefore []power.CacheStats
+	if ws.memo != nil {
+		memoBefore = make([]power.CacheStats, len(ws.memo))
+		for i, c := range ws.memo {
+			if c != nil {
+				memoBefore[i] = c.Stats()
+			}
+		}
+	}
+	var opsBefore []sim.OpCacheStats
+	if ws.ops != nil {
+		opsBefore = make([]sim.OpCacheStats, len(ws.ops))
+		for i, c := range ws.ops {
+			if c != nil {
+				opsBefore[i] = c.Stats()
+			}
+		}
 	}
 	lo, hi := j.ChunkBounds(ci)
 	for d := lo; d < hi; d++ {
@@ -217,17 +272,42 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 			return nil, fmt.Errorf("fleet: device %d: %w", d, err)
 		}
 	}
-	if cache != nil {
-		// Record this chunk's delta: recycled caches accumulate across
-		// chunks, so only deltas sum meaningfully. The total lookup
-		// count is deterministic (one per solve); the hit/miss split
-		// depends on cache warmth and is diagnostic only.
-		after := cache.Stats()
-		cp.Cache = power.CacheStats{
-			Hits:        after.Hits - before.Hits,
-			Misses:      after.Misses - before.Misses,
-			Uncacheable: after.Uncacheable - before.Uncacheable,
-			Entries:     after.Entries,
+	if ws.memo != nil {
+		cp.Memo = make([]power.CacheStats, len(ws.memo))
+		for i, c := range ws.memo {
+			if c == nil {
+				continue
+			}
+			after, b := c.Stats(), memoBefore[i]
+			cp.Memo[i] = power.CacheStats{
+				Hits:        after.Hits - b.Hits,
+				Misses:      after.Misses - b.Misses,
+				Uncacheable: after.Uncacheable - b.Uncacheable,
+				Entries:     after.Entries,
+			}
+			cp.Cache.Add(cp.Memo[i])
+		}
+		// Worker-level Entries is a sum of per-cohort snapshots, not a
+		// delta; Fold zeroes it, matching the pre-cohort behavior.
+	}
+	if ws.ops != nil {
+		cp.Ops = make([]sim.OpCacheStats, len(ws.ops))
+		for i, c := range ws.ops {
+			if c == nil {
+				continue
+			}
+			after, b := c.Stats(), opsBefore[i]
+			d := sim.OpCacheStats{
+				Hits:        after.Hits - b.Hits,
+				Misses:      after.Misses - b.Misses,
+				Uncacheable: after.Uncacheable - b.Uncacheable,
+				Records:     after.Records - b.Records,
+				Bypassed:    after.Bypassed - b.Bypassed,
+				Splits:      after.Splits - b.Splits,
+				Merges:      after.Merges - b.Merges,
+				Entries:     after.Entries,
+			}
+			cp.Ops[i] = d
 		}
 	}
 	return cp, nil
@@ -267,6 +347,25 @@ func (j *Job) Fold(partials []*ChunkPartial) (*Result, error) {
 		cache := cp.Cache
 		cache.Entries = 0 // per-chunk snapshots of recycled caches don't sum
 		res.Cache.Add(cache)
+		if len(cp.Memo) == len(j.grid) {
+			if res.CohortCache == nil {
+				res.CohortCache = make([]power.CacheStats, len(j.grid))
+			}
+			for i, m := range cp.Memo {
+				m.Entries = 0
+				res.CohortCache[i].Add(m)
+			}
+		}
+		if len(cp.Ops) == len(j.grid) {
+			if res.CohortBatch == nil {
+				res.CohortBatch = make([]sim.OpCacheStats, len(j.grid))
+			}
+			for i, o := range cp.Ops {
+				o.Entries = 0
+				res.CohortBatch[i].Add(o)
+				res.Batch.Add(o)
+			}
+		}
 	}
 	return res, nil
 }

@@ -222,5 +222,45 @@ func (r *Result) Diagnostics() string {
 	} else if r.Config.NoMemo {
 		b = append(b, "memo: disabled\n"...)
 	}
+	if s := r.Batch; s.Hits+s.Misses > 0 {
+		b = fmt.Appendf(b, "batch: %d lookups, %.1f%% replayed, %d records, mean width %.1f, %d splits, %d merges, %d bypassed, %d uncacheable\n",
+			s.Hits+s.Misses, 100*s.HitRate(), s.Records, s.MeanWidth(),
+			s.Splits, s.Merges, s.Bypassed, s.Uncacheable)
+	} else if r.Config.Batch < 0 {
+		b = append(b, "batch: disabled\n"...)
+	}
+	b = r.appendCohortDiagnostics(b)
 	return string(b)
+}
+
+// appendCohortDiagnostics renders one line per cohort breaking the
+// memo and batch aggregates down, so divergence-heavy cohorts (low
+// replay rate, narrow width, split churn) are visible without a
+// profiler. Empty unless the run collected per-cohort stats.
+func (r *Result) appendCohortDiagnostics(b []byte) []byte {
+	for i := range r.Cohorts {
+		c := &r.Cohorts[i]
+		var line []byte
+		if i < len(r.CohortCache) {
+			if m := r.CohortCache[i]; m.Hits+m.Misses > 0 {
+				line = fmt.Appendf(line, " memo %5.1f%% hit (%d lookups)",
+					100*m.HitRate(), m.Hits+m.Misses)
+			}
+		}
+		if i < len(r.CohortBatch) {
+			if s := r.CohortBatch[i]; s.Hits+s.Misses+s.Bypassed > 0 {
+				line = fmt.Appendf(line, " | batch %5.1f%% replayed, width %.1f, %d splits, %d merges",
+					100*s.HitRate(), s.MeanWidth(), s.Splits, s.Merges)
+				if s.Bypassed > 0 {
+					line = fmt.Appendf(line, ", %d bypassed", s.Bypassed)
+				}
+			}
+		}
+		if len(line) == 0 {
+			continue
+		}
+		b = fmt.Appendf(b, "cohort %s/%s/%s:%s\n",
+			c.Cohort.App, c.Cohort.Variant, c.Cohort.Scenario, line)
+	}
+	return b
 }

@@ -123,6 +123,18 @@ type System struct {
 	// cache never changes results — only speed. Leave nil for an
 	// unmemoized system.
 	Memo *SegmentCache
+
+	// cutEsr/cutLoad/cutV memoize recent CutoffVoltage solves keyed by
+	// the exact (esr, loadPower) pair: every drain recomputes the
+	// brownout cutoff, and the simulator cycles through a handful of
+	// fixed peripheral loads on a fixed active-set ESR. Identical inputs
+	// give the identical root, so the memo changes no result bits. The
+	// booster parameters it derives from are fixed after construction
+	// (Config.Tune runs before any simulation step).
+	cutEsr  [4]units.Resistance
+	cutLoad [4]units.Power
+	cutV    [4]units.Voltage
+	cutN    int
 }
 
 // NewSystem wires a source to default boosters.
@@ -336,9 +348,22 @@ func (s *System) StoreDraw(loadPower units.Power) units.Power {
 // High ESR or high power raises the cutoff — the Fig. 4 effect that
 // strands energy in ultra-compact supercaps.
 func (s *System) CutoffVoltage(esr units.Resistance, loadPower units.Power) units.Voltage {
+	for i := 0; i < s.cutN; i++ {
+		if s.cutEsr[i] == esr && s.cutLoad[i] == loadPower {
+			return s.cutV[i]
+		}
+	}
 	m := float64(s.Out.MinInput)
 	pr := float64(s.StoreDraw(loadPower)) * float64(esr)
-	return units.Voltage((m + math.Sqrt(m*m+4*pr)) / 2)
+	v := units.Voltage((m + math.Sqrt(m*m+4*pr)) / 2)
+	i := s.cutN
+	if i == len(s.cutEsr) {
+		i = 0 // full: evict the oldest slot
+	} else {
+		s.cutN++
+	}
+	s.cutEsr[i], s.cutLoad[i], s.cutV[i] = esr, loadPower, v
+	return v
 }
 
 // CanSupply reports whether the store can currently power the load at

@@ -224,6 +224,10 @@ type Array struct {
 	actCap   units.Capacitance
 	actESR   units.Resistance
 	actRated units.Voltage
+	// actMask mirrors the switch positions as a bank bitmask (bit 0 is
+	// the always-on base), refreshed with the other caches; ActiveMask
+	// is on the per-task-iteration hot path.
+	actMask uint64
 }
 
 // NewArray builds an array from a base bank and switched banks. Every
@@ -245,9 +249,11 @@ func NewArray(base *storage.Bank, kind SwitchKind, switched ...*storage.Bank) *A
 func (a *Array) refreshActive() {
 	a.active = a.active[:0]
 	a.active = append(a.active, a.base)
+	a.actMask = 1
 	for i, s := range a.switches {
 		if s.Closed() {
 			a.active = append(a.active, a.banks[i])
+			a.actMask |= 1 << uint(i+1)
 		}
 	}
 	a.actCap = storage.CombinedCapacitance(a.active)
@@ -281,15 +287,7 @@ func (a *Array) Switch(i int) *Switch { return a.switches[i-1] }
 
 // ActiveMask returns a bitmask of the currently connected banks. Bit 0
 // (the base bank) is always set.
-func (a *Array) ActiveMask() uint64 {
-	m := uint64(1)
-	for i, s := range a.switches {
-		if s.Closed() {
-			m |= 1 << uint(i+1)
-		}
-	}
-	return m
-}
+func (a *Array) ActiveMask() uint64 { return a.actMask }
 
 // Configure programs the switches so that exactly the banks in mask
 // (plus the always-on base bank) are connected. Newly connected banks
@@ -321,13 +319,31 @@ func (a *Array) settle() {
 	if len(active) < 2 {
 		return
 	}
-	var q, c, before float64
+	var q, c float64
 	for _, b := range active {
 		q += float64(b.Capacitance()) * float64(b.Voltage())
 		c += float64(b.Capacitance())
-		before += float64(b.Energy())
 	}
 	v := units.Voltage(q / c)
+	// Already settled (bit-equal voltages all the way down): the writes
+	// below would change nothing and the loss would be exactly zero, so
+	// skip the per-bank energy bookkeeping. Drains re-settle the set
+	// every tick, and between reconfigurations the members usually sit
+	// at exactly the shared terminal voltage.
+	settled := true
+	for _, b := range active {
+		if b.Voltage() != v {
+			settled = false
+			break
+		}
+	}
+	if settled {
+		return
+	}
+	var before float64
+	for _, b := range active {
+		before += float64(b.Energy())
+	}
 	var after float64
 	for _, b := range active {
 		b.SetVoltage(v)
@@ -396,6 +412,55 @@ func (a *Array) NextRevert() units.Seconds {
 }
 
 func (a *Array) allBanks() []*storage.Bank { return a.all }
+
+// StateSize returns the number of float64 words AppendState emits: one
+// bank voltage per bank (base first) plus one latch voltage per switch.
+func (a *Array) StateSize() int { return len(a.all) + len(a.switches) }
+
+// AppendState appends the array's complete mutable electrical state —
+// every bank voltage and every latch voltage — to dst and returns the
+// extended slice plus the active-bank mask. Together with the loss
+// accumulators (LeakLoss, ShareLoss) and the Reverts counter, which the
+// caller snapshots separately, this is everything a passive tick or
+// discharge can change; the counters Reconfigurations and Bank cycle
+// counts only move under Configure/Bank.Discharge, which the replayed
+// operations never call. The sim-layer op cache uses the words as an
+// exact (bitwise) state fingerprint and as the restore image for
+// replayed operations.
+func (a *Array) AppendState(dst []float64) ([]float64, uint64) {
+	for _, b := range a.all {
+		dst = append(dst, float64(b.Voltage()))
+	}
+	for _, s := range a.switches {
+		dst = append(dst, float64(s.latchV))
+	}
+	return dst, a.ActiveMask()
+}
+
+// RestoreState sets the array to a state previously captured by
+// AppendState: bank voltages, latch voltages, and switch positions from
+// the mask. Restoring values the array itself produced is bit-exact —
+// Bank.SetVoltage clamps to [0, rated], and captured voltages are
+// already inside that range. The active-set caches are refreshed when
+// the switch configuration changed.
+func (a *Array) RestoreState(vals []float64, mask uint64) {
+	for i, b := range a.all {
+		b.SetVoltage(units.Voltage(vals[i]))
+	}
+	nb := len(a.all)
+	changed := false
+	for i, s := range a.switches {
+		s.latchV = units.Voltage(vals[nb+i])
+		want := mask&(1<<uint(i+1)) != 0
+		if s.closed != want {
+			s.closed = want
+			changed = true
+		}
+	}
+	if changed {
+		a.refreshActive()
+	}
+}
 
 // States reports each bank's condition for tracing.
 func (a *Array) States() []BankState {

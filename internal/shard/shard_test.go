@@ -171,7 +171,7 @@ func rawDial(t *testing.T, addr string, capacity int) (*frameConn, *frame) {
 	if err != nil || jobFrame.Type != msgJob {
 		t.Fatalf("handshake read: %v (type %v)", err, jobFrame.Type)
 	}
-	job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false))
+	job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func chunk0Refuser(addr string) error {
 			fc.close()
 			return nil
 		}
-		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false))
+		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0))
 		if err != nil {
 			fc.close()
 			return err

@@ -23,6 +23,10 @@ type WorkerOptions struct {
 	CacheSize int
 	// NoRecycle builds every device fresh on this worker.
 	NoRecycle bool
+	// Batch is this worker's device-op replay width cap (fleet
+	// Config.Batch: < 0 scalar, 0 unlimited, >= 1 cap). Like the other
+	// knobs it never changes a byte of the report.
+	Batch int
 	// DialRetry keeps retrying the initial connection for this long
 	// (0 = fail on the first refused dial). It lets workers start
 	// before the coordinator is listening — the usual two-terminal and
@@ -71,7 +75,7 @@ func Work(ctx context.Context, addr string, jobs int, opts WorkerOptions) error 
 	if f.Job.Proto != protoVersion {
 		return fmt.Errorf("shard: protocol version mismatch: coordinator %d, worker %d", f.Job.Proto, protoVersion)
 	}
-	job, err := fleet.NewJob(f.Job.Spec.Config(jobs, opts.NoMemo, opts.CacheSize, opts.NoRecycle))
+	job, err := fleet.NewJob(f.Job.Spec.Config(jobs, opts.NoMemo, opts.CacheSize, opts.NoRecycle, opts.Batch))
 	if err != nil {
 		fc.write(&frame{Type: msgError, Error: err.Error()})
 		return fmt.Errorf("shard: bad job spec: %w", err)

@@ -1,0 +1,600 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// Device-op replay cache: the fleet engine's batch-lockstep hot path.
+//
+// Within a fleet cohort, devices differ only by their RNG stream. Their
+// lifecycles therefore revisit the same (array state, operation) pairs
+// constantly: charge targets and brownout cutoffs snap voltages to exact
+// values (power.Discharge sets the cutoff bit-exactly; chargeSegment
+// snaps to target/limit), so after every brownout or completed charge a
+// whole cohort's trajectories reconverge onto a shared state. The
+// OpCache exploits this by memoizing *whole* Drain and ChargeTo calls:
+// the first device through a state ("the batch leader") solves the
+// operation for real and records its exact effect; every device that
+// arrives at the bit-identical state replays the recorded effect
+// without touching the solvers. The set of devices replaying one entry
+// is a batch advancing in lockstep through a shared analytic segment;
+// a device whose state diverges (a different Poisson gap, a different
+// brownout instant) simply misses — a batch split — solves for real,
+// and re-merges the moment a voltage snap puts it back on a shared
+// state.
+//
+// State is held struct-of-arrays: recorded post-operation array images
+// (bank voltages + latch voltages) live in one flat float64 arena per
+// generation, entries are a flat slice, and keys are packed byte
+// strings — rotation drops a whole generation without walking it.
+//
+// Soundness (why byte-identity survives batching):
+//
+//   - Keys are exact IEEE-754 bit patterns of every mutable word the
+//     operation reads: the full array state (all bank voltages, all
+//     latch voltages, switch positions) plus the call arguments, plus
+//     the sampled source output. Bitwise-equal inputs run bitwise-equal
+//     float operations, so the recorded effect IS the effect.
+//   - Drain samples the source exactly once, at the call's start (the
+//     tickSpan powered-ness decision), so a single "powered" key bit
+//     covers its entire clock dependence — drains are cacheable under
+//     any source, including PWM/blackout scenarios.
+//   - ChargeTo is cached only when the source reports an unbounded
+//     constancy horizon (harvest.Forever) with power flowing: the whole
+//     call is then a single analytic segment whose outcome depends on
+//     the clock only through the sampled (power, voltage) pair, which
+//     is in the key. A recorded completion replays only when it fits
+//     the caller's deadline (entry.dur <= maxWait); the horizon floors
+//     (units.MinAdvance) only ever lengthen a step, so a completion
+//     recorded under one deadline is the completion under every
+//     deadline it fits.
+//   - Every report-visible accumulator (now, TimeOn, TimeOff,
+//     TimeCharging, Boots, Brownouts, Reverts) receives exactly one add
+//     per call in the scalar path; replay performs the same single add
+//     with the identical recorded value. EnergyDrawn's add is
+//     recomputed from the same expression the scalar path uses.
+//   - The diagnostic loss accumulators (Array.LeakLoss/ShareLoss) and
+//     Stats.EnergyIntoStore accumulate several intermediate adds per
+//     call in the scalar path; replay applies the recorded net delta in
+//     one add, which can differ in the last ULP. These fields appear in
+//     no fleet report (they are energy-balance diagnostics), so the
+//     canonical byte-identity contract is unaffected.
+//
+// The cache engages only when no Trace, EventLog, or Observer needs the
+// operation's intermediate events, and never for Continuous devices
+// (their fast path is cheaper than a lookup).
+
+// DefaultOpEntries bounds an OpCache built with max <= 0. The sizing
+// trades reuse depth against locality: a cohort leader's trajectory
+// between reconvergence anchors runs to thousands of operations, and a
+// generation must hold enough of it for followers to replay (4096
+// measurably starves the wider cohorts), while much larger tables
+// thrash the data cache during probing and slow every lookup down.
+const DefaultOpEntries = 16384
+
+// OpCacheStats reports an OpCache's effectiveness and batching shape.
+type OpCacheStats struct {
+	// Hits counts calls replayed from a recorded entry; Misses counts
+	// calls solved for real through the cache path.
+	Hits, Misses uint64
+	// Uncacheable counts calls the cache had to pass through untouched:
+	// time-varying sources, outages, and deadline-bound charges.
+	Uncacheable uint64
+	// Records counts misses that recorded a fresh entry (a batch
+	// leader's solve). Misses - Records is the unrecordable remainder.
+	Records uint64
+	// Bypassed counts calls routed straight to the solvers after the
+	// probation window judged this cohort's trajectories too divergent
+	// for replay to pay (see engaged).
+	Bypassed uint64
+	// Splits counts replay->solve transitions within one device's call
+	// stream (a device leaving a shared trajectory); Merges counts
+	// solve->replay transitions (rejoining one).
+	Splits, Merges uint64
+	// Entries is the number of recorded operations currently retained.
+	Entries int
+}
+
+// HitRate returns the fraction of cacheable calls answered by replay.
+func (s OpCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// MeanWidth returns the mean batch width: how many devices, on
+// average, advanced through one recorded solve (the leader plus its
+// replays).
+func (s OpCacheStats) MeanWidth() float64 {
+	if s.Records == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Records) / float64(s.Records)
+}
+
+// Add accumulates another cache's counters.
+func (s *OpCacheStats) Add(o OpCacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Uncacheable += o.Uncacheable
+	s.Records += o.Records
+	s.Bypassed += o.Bypassed
+	s.Splits += o.Splits
+	s.Merges += o.Merges
+	s.Entries += o.Entries
+}
+
+// opEntry is one recorded operation effect. soff/slen locate the final
+// array-state image in the generation's arena; koff/klen locate the
+// entry's full key in the generation's key arena.
+type opEntry struct {
+	soff, slen int32
+	koff, klen int32
+	// next is the young-generation index of the entry the most recent
+	// call stream used immediately after this one, or -1. It predicts
+	// straight-line replay: when a batch advances in lockstep the next
+	// operation's key is verified with one memcmp against next's stored
+	// key, skipping the hash and map probe entirely. It is only ever a
+	// hint — a failed comparison falls back to the map.
+	next int32
+	// replays counts devices that replayed this entry since it was
+	// recorded, for the batch-width cap.
+	replays  int32
+	dReverts int32
+	mask     uint64
+	// dur is the operation's time span: Drain's sustained span or
+	// ChargeTo's elapsed-to-target.
+	dur units.Seconds
+	// energy is the operation's stats add: Drain's exact EnergyDrawn
+	// term, or ChargeTo's net EnergyIntoStore delta.
+	energy float64
+	dLeak  units.Energy
+	dShare units.Energy
+	// flag is Drain's "completed without brownout" result, or
+	// ChargeTo's "charge power was flowing" counter selector.
+	flag bool
+}
+
+// opGen is one generation of the two-generation rotation: a key index,
+// the entry slice it points into, and the flat state arena.
+type opGen struct {
+	idx   map[string]int32
+	ents  []opEntry
+	arena []float64
+	// keys is the flat key arena backing each entry's koff/klen.
+	keys []byte
+}
+
+// OpCache memoizes whole Device.Drain/ChargeTo calls (see the package
+// comment above). Not safe for concurrent use; the fleet engine keeps
+// one per worker per cohort.
+type OpCache struct {
+	max   int
+	width int
+
+	cur, prev opGen
+	stats     OpCacheStats
+
+	// cfgs interns device hardware fingerprints (booster parameters,
+	// bank electricals, switch parameters); a device's id participates
+	// in every key, so one cache may safely serve heterogeneous
+	// devices.
+	cfgs map[string]uint32
+
+	// key/fp/tmp are reusable scratch buffers for key building,
+	// fingerprinting, and final-state capture.
+	key []byte
+	fp  []byte
+	tmp []float64
+
+	// streak tracks the current device's replay/solve alternation for
+	// the split/merge counters: 0 unknown, 1 replayed, 2 solved.
+	streak uint8
+
+	// decided/bypass implement the probation policy: after opProbation
+	// cacheable calls the cache either commits to replay or bypasses —
+	// some cohorts' trajectories drift through never-repeating states
+	// (a fixed cap discharging freely visits a fresh voltage every
+	// operation), and for them key-building and recording is pure tax.
+	// The decision reads only the cache's own deterministic call
+	// stream; bypassing never changes a result, only who computes it.
+	decided, bypass bool
+
+	// last is the young-generation index of the entry the previous
+	// cached call used (replayed or recorded), or -1. It anchors the
+	// next-entry chain; deliberately NOT reset at device seams, so a
+	// follower device re-enters its leader's chain at the very first
+	// shared operation.
+	last int32
+}
+
+// NewOpCache builds a cache retaining at most max recorded operations
+// (<= 0 means DefaultOpEntries). width caps the batch width — how many
+// devices may advance through one recorded solve: 0 is unlimited, w >= 1
+// re-solves (and re-records) after the leader plus w-1 replays, and
+// width 1 never replays at all, making the cache a pure pass-through
+// that is behaviorally scalar while still exercising the record path.
+func NewOpCache(max, width int) *OpCache {
+	if max <= 0 {
+		max = DefaultOpEntries
+	}
+	if max < 2 {
+		max = 2
+	}
+	if width < 0 {
+		width = 0
+	}
+	return &OpCache{
+		max:   max,
+		width: width,
+		cur:   opGen{idx: make(map[string]int32)},
+		prev:  opGen{idx: make(map[string]int32)},
+		cfgs:  make(map[string]uint32),
+		last:  -1,
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *OpCache) Stats() OpCacheStats {
+	st := c.stats
+	st.Entries = len(c.cur.ents) + len(c.prev.ents)
+	return st
+}
+
+// BeginDevice marks the start of a new device's call stream, so the
+// split/merge counters do not count the seam between two devices as a
+// transition.
+func (c *OpCache) BeginDevice() { c.streak = 0 }
+
+func (c *OpCache) noteReplay() {
+	c.stats.Hits++
+	if c.streak == 2 {
+		c.stats.Merges++
+	}
+	c.streak = 1
+}
+
+func (c *OpCache) noteSolve(recorded bool) {
+	c.stats.Misses++
+	if recorded {
+		c.stats.Records++
+	}
+	if c.streak == 1 {
+		c.stats.Splits++
+	}
+	c.streak = 2
+}
+
+func (c *OpCache) noteUncacheable() { c.stats.Uncacheable++ }
+
+// Probation policy: how many cacheable calls the cache observes before
+// deciding whether replay pays here, and the hit rate it must have seen.
+const (
+	opProbation  = 1 << 15
+	opMinHitRate = 0.6
+)
+
+// engaged reports whether the cached path should run at all. During
+// probation it always does; afterwards, a cohort whose hit rate never
+// reached opMinHitRate is bypassed for good — its devices' states drift
+// without reconverging, so probing and recording only slow the solve
+// down. A batch-width cap of 1 (the behaviorally-scalar test mode)
+// never bypasses: it exists to exercise the record path.
+func (c *OpCache) engaged() bool {
+	if c.bypass {
+		c.stats.Bypassed++
+		return false
+	}
+	if !c.decided {
+		if t := c.stats.Hits + c.stats.Misses; t >= opProbation {
+			c.decided = true
+			c.bypass = c.width != 1 && c.stats.HitRate() < opMinHitRate
+		}
+	}
+	return true
+}
+
+// appendBits packs a float64's exact bit pattern into a key buffer.
+func appendBits[T ~float64](b []byte, x T) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(float64(x)))
+}
+
+// deviceID interns d's hardware fingerprint: every static parameter the
+// cached operations read that is not in the per-call key. Computed once
+// per (device, cache) pairing — the result is memoized on the device.
+func (c *OpCache) deviceID(d *Device) uint32 {
+	if d.opsFor == c {
+		return d.opsID
+	}
+	fp := c.fp[:0]
+	sys := d.Sys
+	fp = appendBits(fp, sys.In.Efficiency)
+	fp = appendBits(fp, sys.In.ColdStart)
+	fp = appendBits(fp, sys.In.ColdStartEfficiency)
+	fp = appendBits(fp, sys.In.MinSourceVoltage)
+	if sys.Bypass.Enabled {
+		fp = append(fp, 1)
+	} else {
+		fp = append(fp, 0)
+	}
+	fp = appendBits(fp, sys.Bypass.Drop)
+	fp = appendBits(fp, sys.Out.Vout)
+	fp = appendBits(fp, sys.Out.Efficiency)
+	fp = appendBits(fp, sys.Out.MinInput)
+	fp = appendBits(fp, sys.Out.Quiescent)
+	a := d.Array
+	nb := a.NumBanks()
+	fp = append(fp, byte(nb))
+	for i := 0; i < nb; i++ {
+		b := a.Bank(i)
+		fp = appendBits(fp, b.Capacitance())
+		fp = appendBits(fp, b.ESR())
+		fp = appendBits(fp, b.LeakResistance())
+		fp = appendBits(fp, b.RatedVoltage())
+	}
+	for i := 1; i < nb; i++ {
+		s := a.Switch(i)
+		fp = append(fp, byte(s.Kind))
+		fp = appendBits(fp, s.LatchCap)
+		fp = appendBits(fp, s.LatchLeak)
+		fp = appendBits(fp, s.HoldVoltage)
+		fp = appendBits(fp, s.FullVoltage)
+	}
+	c.fp = fp
+	id, ok := c.cfgs[string(fp)]
+	if !ok {
+		id = uint32(len(c.cfgs))
+		c.cfgs[string(fp)] = id
+	}
+	d.opsID, d.opsFor = id, c
+	return id
+}
+
+// Key tags distinguishing the two cached operations.
+const (
+	opDrain  byte = 1
+	opCharge byte = 2
+)
+
+// beginKey starts a key in the cache's scratch buffer: operation tag,
+// device fingerprint id, and the full mutable array state (active mask,
+// bank voltages, latch voltages) as exact bit patterns. The caller
+// appends the operation's arguments.
+func (c *OpCache) beginKey(tag byte, d *Device) {
+	k := c.key[:0]
+	k = append(k, tag)
+	k = binary.LittleEndian.AppendUint32(k, c.deviceID(d))
+	st, mask := d.Array.AppendState(c.tmp[:0])
+	c.tmp = st
+	k = binary.LittleEndian.AppendUint64(k, mask)
+	for _, v := range st {
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(v))
+	}
+	c.key = k
+}
+
+// find looks the current key up, returning a young-generation entry
+// index or -1. The chained next-entry hint is tried first: during
+// straight-line lockstep replay it resolves the lookup with a single
+// memcmp, no hash, no map probe. On a chain miss it falls back to the
+// map of both generations, promoting an old-generation entry into the
+// young one (so recently-used entries survive rotation). It does not
+// touch the counters — the caller decides whether the entry is usable.
+func (c *OpCache) find() int32 {
+	if c.last >= 0 {
+		if n := c.cur.ents[c.last].next; n >= 0 {
+			e := &c.cur.ents[n]
+			if bytes.Equal(c.cur.keys[e.koff:e.koff+e.klen], c.key) {
+				return n
+			}
+		}
+	}
+	if i, ok := c.cur.idx[string(c.key)]; ok {
+		return i
+	}
+	if i, ok := c.prev.idx[string(c.key)]; ok {
+		e := c.prev.ents[i]
+		st := append([]float64(nil), c.prev.arena[e.soff:e.soff+e.slen]...)
+		return c.put(e, st)
+	}
+	return -1
+}
+
+// put records an entry for the current key, appending st (the final
+// array state) and the key itself to the young generation's arenas. A
+// key already present in the young generation is overwritten in place —
+// the batch-width cap re-records an identical effect to reset its
+// replay count (the stored key and chain successor stay valid).
+func (c *OpCache) put(e opEntry, st []float64) int32 {
+	if i, ok := c.cur.idx[string(c.key)]; ok {
+		old := &c.cur.ents[i]
+		copy(c.cur.arena[old.soff:old.soff+old.slen], st)
+		e.soff, e.slen = old.soff, old.slen
+		e.koff, e.klen = old.koff, old.klen
+		e.next = old.next
+		*old = e
+		return i
+	}
+	if len(c.cur.ents) >= c.max/2 {
+		c.cur, c.prev = c.prev, c.cur
+		clear(c.cur.idx)
+		c.cur.ents = c.cur.ents[:0]
+		c.cur.arena = c.cur.arena[:0]
+		c.cur.keys = c.cur.keys[:0]
+		// Entry indices rotated out from under the chain anchor.
+		c.last = -1
+	}
+	e.soff = int32(len(c.cur.arena))
+	e.slen = int32(len(st))
+	c.cur.arena = append(c.cur.arena, st...)
+	e.koff = int32(len(c.cur.keys))
+	e.klen = int32(len(c.key))
+	c.cur.keys = append(c.cur.keys, c.key...)
+	e.next = -1
+	i := int32(len(c.cur.ents))
+	c.cur.ents = append(c.cur.ents, e)
+	c.cur.idx[string(c.key)] = i
+	return i
+}
+
+// link records that entry i followed the previously-used entry in the
+// call stream, teaching the chain the trajectory for the next device.
+func (c *OpCache) link(i int32) {
+	if c.last >= 0 {
+		c.cur.ents[c.last].next = i
+	}
+	c.last = i
+}
+
+// capped reports whether the batch-width cap forbids replaying e again.
+func (c *OpCache) capped(e *opEntry) bool {
+	return c.width > 0 && e.replays+1 >= int32(c.width)
+}
+
+// applyState restores the recorded post-operation array state and the
+// passive-effect deltas shared by both operations.
+func (d *Device) applyState(e *opEntry, g *opGen) {
+	d.Array.RestoreState(g.arena[e.soff:e.soff+e.slen], e.mask)
+	d.Array.LeakLoss += e.dLeak
+	d.Array.ShareLoss += e.dShare
+	d.Array.Reverts += int(e.dReverts)
+	d.now += e.dur
+}
+
+// drainFast is Drain's cached path: key on (state, load, dt, powered),
+// replay a recorded effect or solve-and-record. The powered bit covers
+// Drain's entire clock dependence — the scalar path samples the source
+// exactly once, at the span start.
+func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
+	powered := d.powerAt(d.now) > 0
+	c.beginKey(opDrain, d)
+	k := appendBits(c.key, loadPower)
+	k = appendBits(k, dt)
+	if powered {
+		k = append(k, 1)
+	} else {
+		k = append(k, 0)
+	}
+	c.key = k
+	if i := c.find(); i >= 0 {
+		if e := &c.cur.ents[i]; !c.capped(e) {
+			e.replays++
+			c.noteReplay()
+			c.link(i)
+			d.applyState(e, &c.cur)
+			d.Stats.TimeOn += e.dur
+			d.Stats.EnergyDrawn += units.Energy(e.energy)
+			if !e.flag {
+				d.Stats.Brownouts++
+			}
+			return e.dur, e.flag
+		}
+	}
+	leak0, share0 := d.Array.LeakLoss, d.Array.ShareLoss
+	rev0 := d.Array.Reverts
+	sustained, ok := d.drainSlow(loadPower, dt)
+	st, mask := d.Array.AppendState(c.tmp[:0])
+	c.tmp = st
+	c.link(c.put(opEntry{
+		mask: mask,
+		dur:  sustained,
+		// The identical expression drainSlow's EnergyDrawn add uses, so
+		// replays add bit-identical values.
+		energy:   float64(d.Sys.StoreDraw(loadPower)) * float64(sustained),
+		dLeak:    d.Array.LeakLoss - leak0,
+		dShare:   d.Array.ShareLoss - share0,
+		dReverts: int32(d.Array.Reverts - rev0),
+		flag:     ok,
+	}, st))
+	c.noteSolve(true)
+	return sustained, ok
+}
+
+// chargeFast is ChargeTo's cached path. Only constant-forever powered
+// sources are cacheable: the whole call is then one analytic segment
+// (chargeHorizon takes the full remaining window at once), and its
+// outcome depends on the clock only through the sampled source output,
+// which is in the key. Completions are recorded; deadline-bound
+// failures are not (their outcome depends on maxWait).
+func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seconds) (units.Seconds, bool) {
+	set := d.Store()
+	// Mirror the scalar loop's first-iteration exits exactly.
+	if set.Voltage() >= target {
+		return 0, true
+	}
+	if maxWait <= 0 {
+		return 0, false
+	}
+	src := d.Sys.Source
+	raw := d.powerAt(d.now)
+	if raw <= 0 || harvest.NextChange(src, d.now) != harvest.Forever {
+		// An outage or a time-varying source: the call's trajectory
+		// depends on where the clock sits in the source's pattern.
+		c.noteUncacheable()
+		return d.chargeSlow(target, maxWait)
+	}
+	srcV := src.VoltageAt(d.now)
+	c.beginKey(opCharge, d)
+	k := appendBits(c.key, target)
+	k = appendBits(k, raw)
+	k = appendBits(k, srcV)
+	c.key = k
+	i := c.find()
+	if i >= 0 && c.cur.ents[i].dur > maxWait {
+		// The recorded completion lies beyond this call's deadline;
+		// solve directly and record nothing — a deadline-bound outcome
+		// is a function of maxWait, which is not in the key.
+		c.noteUncacheable()
+		return d.chargeSlow(target, maxWait)
+	}
+	if i >= 0 {
+		if e := &c.cur.ents[i]; !c.capped(e) {
+			e.replays++
+			c.noteReplay()
+			c.link(i)
+			d.applyState(e, &c.cur)
+			if e.flag {
+				d.Stats.TimeCharging += e.dur
+			} else {
+				d.Stats.TimeOff += e.dur
+			}
+			if e.energy != 0 {
+				d.Stats.EnergyIntoStore += units.Energy(e.energy)
+			}
+			return e.dur, true
+		}
+	}
+	leak0, share0 := d.Array.LeakLoss, d.Array.ShareLoss
+	rev0 := d.Array.Reverts
+	into0 := d.Stats.EnergyIntoStore
+	v0, t0 := set.Voltage(), d.now
+	elapsed, ok := d.chargeSlow(target, maxWait)
+	if !ok {
+		// Under a constant powered source only the deadline (or dead
+		// air) can stop the charge; neither outcome is keyable.
+		c.noteSolve(false)
+		return elapsed, ok
+	}
+	st, mask := d.Array.AppendState(c.tmp[:0])
+	c.tmp = st
+	c.link(c.put(opEntry{
+		mask:     mask,
+		dur:      elapsed,
+		energy:   float64(d.Stats.EnergyIntoStore - into0),
+		dLeak:    d.Array.LeakLoss - leak0,
+		dShare:   d.Array.ShareLoss - share0,
+		dReverts: int32(d.Array.Reverts - rev0),
+		// The scalar loop's per-segment counter selector, recomputed
+		// from keyed values (one segment: decided once, at the start).
+		flag: d.Sys.ChargePower(v0, t0) > 0,
+	}, st))
+	c.noteSolve(true)
+	return elapsed, ok
+}

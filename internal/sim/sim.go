@@ -148,9 +148,52 @@ type Device struct {
 	// Obs, when non-nil, receives fine-grained simulator callbacks
 	// (see Observer); used by the chaos harness.
 	Obs Observer
+	// Ops, when non-nil, memoizes whole Drain/ChargeTo calls keyed on
+	// exact device state (see OpCache) — the fleet engine's batch
+	// execution path. Replays are byte-identical to direct solves for
+	// every report-visible quantity. The cache engages only while
+	// Trace, Log, and Obs are all nil (they need the intermediate
+	// events a replay skips) and never for Continuous devices.
+	Ops *OpCache
 
 	Stats Stats
 	now   units.Seconds
+
+	// opsID/opsFor memoize the device's interned hardware fingerprint
+	// in Ops (see OpCache.deviceID).
+	opsID  uint32
+	opsFor *OpCache
+
+	// pAtT/pAt/pUntil memoize the last harvester sample and the window
+	// over which the source guarantees it constant: one simulator step
+	// asks for the source output at the same instant several times
+	// (powered-ness, tick split, charge segment), successive steps walk
+	// forward inside one constancy segment (a steady source is one
+	// segment forever; PWM/blackout traces are piecewise constant), and
+	// PowerAt is pure in t, so the evaluations collapse to one trace
+	// walk per segment.
+	pAtT   units.Seconds
+	pUntil units.Seconds
+	pAt    units.Power
+	pAtOK  bool
+}
+
+// powerAt returns Sys.Source.PowerAt(t) through the constancy-window
+// memo. With an observer attached the memo is skipped: observer hooks
+// may mutate the source mid-run (chaos injects outage windows at
+// observed instants), which voids any constancy horizon captured
+// before the hook fired.
+func (d *Device) powerAt(t units.Seconds) units.Power {
+	if d.Obs != nil {
+		return d.Sys.Source.PowerAt(t)
+	}
+	if d.pAtOK && (d.pAtT == t || (t > d.pAtT && t < d.pUntil)) {
+		return d.pAt
+	}
+	p := d.Sys.Source.PowerAt(t)
+	d.pAtT, d.pAt, d.pAtOK = t, p, true
+	d.pUntil = t + harvest.NextChange(d.Sys.Source, t)
+	return p
 }
 
 // NewDevice assembles a device with a fresh non-volatile store.
@@ -195,7 +238,7 @@ func (d *Device) Configure(mask uint64) error {
 // wrong duration. Exponential latch and bank decay compose exactly
 // across the split, so only the revert timing changes.
 func (d *Device) tickSpan(t0, dt units.Seconds) {
-	if d.Sys.Source.PowerAt(t0) > 0 {
+	if d.powerAt(t0) > 0 {
 		d.Array.TickPowered(dt)
 		return
 	}
@@ -238,6 +281,15 @@ func (d *Device) Drain(loadPower units.Power, dt units.Seconds) (units.Seconds, 
 		d.Stats.EnergyDrawn += units.Energy(float64(loadPower) * float64(dt))
 		return dt, true
 	}
+	if c := d.Ops; c != nil && d.Trace == nil && d.Log == nil && d.Obs == nil && c.engaged() {
+		return d.drainFast(c, loadPower, dt)
+	}
+	return d.drainSlow(loadPower, dt)
+}
+
+// drainSlow is the direct (uncached) drain: discharge, advance time,
+// tick the array's passive state.
+func (d *Device) drainSlow(loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
 	set := d.Store()
 	start, v0 := d.now, set.Voltage()
 	d.Trace.record(d.now, set.Voltage(), PhaseRunning)
@@ -275,7 +327,7 @@ func (d *Device) chargeHorizon(remain units.Seconds) units.Seconds {
 	} else if h < step {
 		step = h
 	}
-	if d.Sys.Source.PowerAt(d.now) <= 0 {
+	if d.powerAt(d.now) <= 0 {
 		// A true outage: latch capacitors are decaying, and the first
 		// expiry reconfigures the array mid-charge (§5.2).
 		if nr := d.Array.NextRevert(); nr < step {
@@ -314,6 +366,14 @@ func (d *Device) ChargeTo(target units.Voltage, maxWait units.Seconds) (units.Se
 	if d.Continuous {
 		return 0, true
 	}
+	if c := d.Ops; c != nil && d.Trace == nil && d.Log == nil && d.Obs == nil && c.engaged() {
+		return d.chargeFast(c, target, maxWait)
+	}
+	return d.chargeSlow(target, maxWait)
+}
+
+// chargeSlow is the direct (uncached) event-driven charge loop.
+func (d *Device) chargeSlow(target units.Voltage, maxWait units.Seconds) (units.Seconds, bool) {
 	set := d.Store()
 	var elapsed units.Seconds
 	d.Trace.record(d.now, set.Voltage(), PhaseCharging)
@@ -396,7 +456,7 @@ func (d *Device) AdvanceOff(dt units.Seconds) {
 		if h := harvest.NextChange(d.Sys.Source, d.now); h > 0 && h < step {
 			step = h
 		}
-		if d.Sys.Source.PowerAt(d.now) <= 0 {
+		if d.powerAt(d.now) <= 0 {
 			if nr := d.Array.NextRevert(); nr < step {
 				step = nr
 			}

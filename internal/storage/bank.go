@@ -76,6 +76,15 @@ type Bank struct {
 	esr   units.Resistance
 	leakR units.Resistance
 	rated units.Voltage
+
+	// leakDt/leakFac memoize recent exp(−dt/RC) decay factors keyed by
+	// the exact dt: the simulator leaks every bank once per drain, and
+	// drain durations come from a handful of fixed peripheral timings,
+	// so the same exponential recurs millions of times. Identical dt
+	// yields the identical factor, so the memo changes no result bits.
+	leakDt  [4]units.Seconds
+	leakFac [4]float64
+	leakN   int
 }
 
 // NewBank builds a named bank from groups. It returns an error when the
@@ -247,9 +256,30 @@ func (b *Bank) Leak(dt units.Seconds) units.Energy {
 	if b.leakR <= 0 || b.voltage <= 0 {
 		return 0
 	}
+	if dt <= 0 {
+		return 0
+	}
 	before := b.Energy()
-	b.voltage = units.LeakVoltageAfter(b.cap, b.voltage, b.leakR, dt)
+	b.voltage = units.Voltage(float64(b.voltage) * b.leakFactor(dt))
 	return before - b.Energy()
+}
+
+// leakFactor returns exp(−dt/RC) through the small decay-factor memo.
+func (b *Bank) leakFactor(dt units.Seconds) float64 {
+	for i := 0; i < b.leakN; i++ {
+		if b.leakDt[i] == dt {
+			return b.leakFac[i]
+		}
+	}
+	f := math.Exp(-float64(dt) / (float64(b.leakR) * float64(b.cap)))
+	i := b.leakN
+	if i == len(b.leakDt) {
+		i = 0 // full: evict the oldest slot
+	} else {
+		b.leakN++
+	}
+	b.leakDt[i], b.leakFac[i] = dt, f
+	return f
 }
 
 // Cycles returns the number of deep-discharge cycles the bank has

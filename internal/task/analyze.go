@@ -115,11 +115,7 @@ func probeTransitions(t *Task) []string {
 	for _, words := range []uint64{0, 1, 1 << 20} {
 		func() {
 			defer func() { recover() }() // probing must never crash Analyze
-			ctx := &Ctx{probe: true, probeWord: words,
-				stagedWords: make(map[string]uint64),
-				stagedBlobs: make(map[string][]byte),
-				stagedDel:   make(map[string]bool),
-			}
+			ctx := &Ctx{probe: true, probeWord: words}
 			next := t.Run(ctx)
 			seen[string(next)] = true
 		}()

@@ -36,10 +36,13 @@ const nvCommitVersion = "__task.commitver"
 // current task to dst. The write commits atomically with the task
 // transition; a power failure discards it.
 func (c *Ctx) ChanOut(dst, field string, v uint64) {
-	if c.stagedChans == nil {
-		c.stagedChans = make(map[[2]string]uint64)
+	for i := range c.stagedChans {
+		if c.stagedChans[i].dst == dst && c.stagedChans[i].field == field {
+			c.stagedChans[i].v = v
+			return
+		}
 	}
-	c.stagedChans[[2]string{dst, field}] = v
+	c.stagedChans = append(c.stagedChans, kvChan{dst, field, v})
 }
 
 // ChanOutFloat is ChanOut for float64 values.
@@ -110,19 +113,15 @@ func (c *Ctx) commitChans() {
 	ver := nv.WordOr(nvCommitVersion, 0) + 1
 	nv.SetWord(nvCommitVersion, ver)
 
-	keys := make([][2]string, 0, len(c.stagedChans))
-	for k := range c.stagedChans {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	s := c.stagedChans
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].dst != s[j].dst {
+			return s[i].dst < s[j].dst
 		}
-		return keys[i][1] < keys[j][1]
+		return s[i].field < s[j].field
 	})
-	for _, k := range keys {
-		dst, field := k[0], k[1]
-		nv.SetWord(chanKey(c.taskName, dst, field), c.stagedChans[k])
-		nv.SetWord(chanVerKey(c.taskName, dst, field), ver)
+	for i := range s {
+		nv.SetWord(chanKey(c.taskName, s[i].dst, s[i].field), s[i].v)
+		nv.SetWord(chanVerKey(c.taskName, s[i].dst, s[i].field), ver)
 	}
 }

@@ -158,6 +158,16 @@ type Engine struct {
 	// same task millions of times, and the name-keyed map lookup was a
 	// measurable slice of the scheduler iteration.
 	curT *Task
+	// curGen/curValid validate curTask against the NV store's write
+	// counter: the durable pointer can only move when NV is written, so
+	// between writes the blob read (a map lookup per scheduler
+	// iteration) is skipped entirely.
+	curGen   int
+	curValid bool
+	// profName/prof memoize the last Profile entry the same way curT
+	// memoizes the task lookup.
+	profName string
+	prof     *TaskProfile
 }
 
 // TaskProfile is one task's accumulated execution cost.
@@ -201,11 +211,15 @@ func NewEngine(dev *sim.Device, prog *Program, pm PowerManager) *Engine {
 }
 
 func (e *Engine) profileFor(name string) *TaskProfile {
+	if e.prof != nil && e.profName == name {
+		return e.prof
+	}
 	p, ok := e.Profile[name]
 	if !ok {
 		p = &TaskProfile{}
 		e.Profile[name] = p
 	}
+	e.profName, e.prof = name, p
 	return p
 }
 
@@ -216,22 +230,32 @@ const nvCurrentTask = "__task.current"
 // CurrentTask returns the durable current-task pointer, defaulting to
 // the program entry.
 func (e *Engine) CurrentTask() string {
-	b, ok := e.Dev.NV.PeekBlob(nvCurrentTask)
-	if !ok {
-		return e.Prog.Entry
-	}
-	// Neither the []byte→string comparison nor the map index below
-	// allocates; interning the name against the program's task table
-	// keeps the hot read alloc-free across transitions.
-	if e.curTask != "" && e.curTask == string(b) {
+	// The pointer lives in NV, so it cannot move unless NV was written;
+	// the store's write counter validates the cached copy. Tight sample
+	// loops with self-transitions never touch NV between iterations, so
+	// the blob read drops out of the scheduler's hot path.
+	gen := e.Dev.NV.Writes()
+	if e.curValid && gen == e.curGen {
 		return e.curTask
 	}
-	if t, ok := e.Prog.tasks[string(b)]; ok {
-		e.curTask = t.Name
-	} else {
-		e.curTask = string(b)
+	name := e.Prog.Entry
+	if b, ok := e.Dev.NV.PeekBlob(nvCurrentTask); ok {
+		// Neither the []byte→string comparison nor the map index below
+		// allocates; interning the name against the program's task table
+		// keeps the re-read alloc-free across transitions.
+		switch {
+		case e.curTask != "" && e.curTask == string(b):
+			name = e.curTask
+		default:
+			if t, ok := e.Prog.tasks[string(b)]; ok {
+				name = t.Name
+			} else {
+				name = string(b)
+			}
+		}
 	}
-	return e.curTask
+	e.curTask, e.curGen, e.curValid = name, gen, true
+	return name
 }
 
 // Run executes the program until the simulated clock reaches horizon,
@@ -315,13 +339,16 @@ func (e *Engine) exec(t *Task, ctx *Ctx) (next Next, failed bool) {
 type Ctx struct {
 	eng *Engine
 
-	// scratch is the reusable key buffer for deterministic commits.
-	scratch []string
-
-	stagedWords map[string]uint64
-	stagedBlobs map[string][]byte
-	stagedDel   map[string]bool
-	stagedChans map[[2]string]uint64
+	// Staged writes live in small association slices, not maps: a task
+	// attempt stages a handful of keys at most, so a linear scan beats
+	// hashing, and resetting between attempts is a length truncation
+	// instead of four map clears (which dominated the per-attempt cost
+	// in fleet profiles). A key appears in at most one of words/blobs
+	// versus del (staging a write unstages a delete and vice versa).
+	stagedWords []kvWord
+	stagedBlobs []kvBlob
+	stagedDel   []string
+	stagedChans []kvChan
 
 	// taskName is the executing task, used to address its channels.
 	taskName string
@@ -333,21 +360,37 @@ type Ctx struct {
 	probeWord uint64
 }
 
+// kvWord, kvBlob, and kvChan are the staged-write association entries.
+type kvWord struct {
+	k string
+	v uint64
+}
+
+type kvBlob struct {
+	k string
+	b []byte
+}
+
+type kvChan struct {
+	dst, field string
+	v          uint64
+}
+
 // newCtx resets and returns the engine's reusable execution context.
-// The staged-write maps are retained across attempts (cleared, not
-// reallocated) and allocated lazily on first write: most task attempts
-// in a long sweep stage only a handful of keys, and per-attempt
-// context/map allocations dominated the engine's profile.
+// The staged-write slices are retained across attempts (truncated, not
+// reallocated): most task attempts in a long sweep stage only a handful
+// of keys, and per-attempt context resets dominated the engine's
+// profile.
 func newCtx(e *Engine, taskName string) *Ctx {
 	c := &e.ctx
 	c.eng = e
 	c.taskName = taskName
 	c.probe = false
 	c.probeWord = 0
-	clear(c.stagedWords)
-	clear(c.stagedBlobs)
-	clear(c.stagedDel)
-	clear(c.stagedChans)
+	c.stagedWords = c.stagedWords[:0]
+	c.stagedBlobs = c.stagedBlobs[:0]
+	c.stagedDel = c.stagedDel[:0]
+	c.stagedChans = c.stagedChans[:0]
 	return c
 }
 
@@ -430,22 +473,48 @@ func (c *Ctx) Transmit(r device.Radio, payloadBytes int) units.Seconds {
 // writes first (Alpaca-style privatization), then committed state.
 // Writes are staged and commit only when the task completes.
 
+// unstageDel removes key from the staged-delete set (a write
+// supersedes a prior staged delete).
+func (c *Ctx) unstageDel(key string) {
+	for i, k := range c.stagedDel {
+		if k == key {
+			c.stagedDel[i] = c.stagedDel[len(c.stagedDel)-1]
+			c.stagedDel = c.stagedDel[:len(c.stagedDel)-1]
+			return
+		}
+	}
+}
+
+func (c *Ctx) stagedDeleted(key string) bool {
+	for _, k := range c.stagedDel {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
 // SetWord stages a durable word write.
 func (c *Ctx) SetWord(key string, v uint64) {
-	if c.stagedWords == nil {
-		c.stagedWords = make(map[string]uint64)
+	for i := range c.stagedWords {
+		if c.stagedWords[i].k == key {
+			c.stagedWords[i].v = v
+			return
+		}
 	}
-	c.stagedWords[key] = v
-	delete(c.stagedDel, key)
+	c.stagedWords = append(c.stagedWords, kvWord{key, v})
+	c.unstageDel(key)
 }
 
 // Word reads a durable word.
 func (c *Ctx) Word(key string) (uint64, bool) {
-	if c.stagedDel[key] {
+	if c.stagedDeleted(key) {
 		return 0, false
 	}
-	if v, ok := c.stagedWords[key]; ok {
-		return v, true
+	for i := range c.stagedWords {
+		if c.stagedWords[i].k == key {
+			return c.stagedWords[i].v, true
+		}
 	}
 	if c.probe {
 		return c.probeWord, c.probeWord != 0
@@ -477,9 +546,11 @@ func (c *Ctx) AppendFloat(key string, v float64) {
 	// An already-staged blob is owned by this Ctx (staging always copies
 	// out of NV first), so repeated appends within one task body grow it
 	// in place instead of copying the whole series each time.
-	if b, ok := c.stagedBlobs[key]; ok {
-		c.stagedBlobs[key] = appendFloatInPlace(b, v)
-		return
+	for i := range c.stagedBlobs {
+		if c.stagedBlobs[i].k == key {
+			c.stagedBlobs[i].b = appendFloatInPlace(c.stagedBlobs[i].b, v)
+			return
+		}
 	}
 	cur := c.blobView(key)
 	c.setBlob(key, appendFloatBytes(cur, v))
@@ -501,29 +572,45 @@ func (c *Ctx) SetFloats(key string, vals []float64) {
 }
 
 func (c *Ctx) setBlob(key string, b []byte) {
-	if c.stagedBlobs == nil {
-		c.stagedBlobs = make(map[string][]byte)
+	for i := range c.stagedBlobs {
+		if c.stagedBlobs[i].k == key {
+			c.stagedBlobs[i].b = b
+			return
+		}
 	}
-	c.stagedBlobs[key] = b
-	delete(c.stagedDel, key)
+	c.stagedBlobs = append(c.stagedBlobs, kvBlob{key, b})
+	c.unstageDel(key)
 }
 
 // Delete stages removal of a durable key.
 func (c *Ctx) Delete(key string) {
-	delete(c.stagedWords, key)
-	delete(c.stagedBlobs, key)
-	if c.stagedDel == nil {
-		c.stagedDel = make(map[string]bool)
+	for i := range c.stagedWords {
+		if c.stagedWords[i].k == key {
+			c.stagedWords[i] = c.stagedWords[len(c.stagedWords)-1]
+			c.stagedWords = c.stagedWords[:len(c.stagedWords)-1]
+			break
+		}
 	}
-	c.stagedDel[key] = true
+	for i := range c.stagedBlobs {
+		if c.stagedBlobs[i].k == key {
+			c.stagedBlobs[i] = c.stagedBlobs[len(c.stagedBlobs)-1]
+			c.stagedBlobs = c.stagedBlobs[:len(c.stagedBlobs)-1]
+			break
+		}
+	}
+	if !c.stagedDeleted(key) {
+		c.stagedDel = append(c.stagedDel, key)
+	}
 }
 
 func (c *Ctx) blobView(key string) []byte {
-	if c.stagedDel[key] {
+	if c.stagedDeleted(key) {
 		return nil
 	}
-	if b, ok := c.stagedBlobs[key]; ok {
-		return b
+	for i := range c.stagedBlobs {
+		if c.stagedBlobs[i].k == key {
+			return c.stagedBlobs[i].b
+		}
 	}
 	if c.probe {
 		return nil
@@ -537,41 +624,39 @@ func (c *Ctx) blobView(key string) []byte {
 
 // commit applies the staged writes to non-volatile memory in one
 // atomic step (Chain commits channel writes at the task transition).
+// Each key space commits in sorted key order, so the NV write sequence
+// — and with it the write counter and every downstream determinism
+// guarantee — is independent of staging order.
 func (c *Ctx) commit() {
-	keys := c.scratch[:0]
-	defer func() { c.scratch = keys[:0] }()
-	// Each section is guarded: ranging even an empty map costs an
-	// iterator setup, and commit runs once per task transition.
 	if len(c.stagedDel) > 0 {
-		for k := range c.stagedDel {
-			keys = append(keys, k)
-		}
-		sortKeys(keys)
-		for _, k := range keys {
+		sortKeys(c.stagedDel)
+		for _, k := range c.stagedDel {
 			c.eng.Dev.NV.Delete(k)
 		}
-		keys = keys[:0]
 	}
-	if len(c.stagedWords) > 0 {
-		for k := range c.stagedWords {
-			keys = append(keys, k)
+	if n := len(c.stagedWords); n > 0 {
+		// Insertion sort: commits stage a handful of keys, below the
+		// threshold where sort.Slice's indirection pays.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && c.stagedWords[j].k < c.stagedWords[j-1].k; j-- {
+				c.stagedWords[j], c.stagedWords[j-1] = c.stagedWords[j-1], c.stagedWords[j]
+			}
 		}
-		sortKeys(keys)
-		for _, k := range keys {
-			c.eng.Dev.NV.SetWord(k, c.stagedWords[k])
+		for i := range c.stagedWords {
+			c.eng.Dev.NV.SetWord(c.stagedWords[i].k, c.stagedWords[i].v)
 		}
-		keys = keys[:0]
 	}
-	if len(c.stagedBlobs) > 0 {
-		for k := range c.stagedBlobs {
-			keys = append(keys, k)
+	if n := len(c.stagedBlobs); n > 0 {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && c.stagedBlobs[j].k < c.stagedBlobs[j-1].k; j-- {
+				c.stagedBlobs[j], c.stagedBlobs[j-1] = c.stagedBlobs[j-1], c.stagedBlobs[j]
+			}
 		}
-		sortKeys(keys)
-		for _, k := range keys {
+		for i := range c.stagedBlobs {
 			// Ownership of the staged slice moves to NV: the next
-			// newCtx clears the staged map before anything can touch
-			// it again.
-			c.eng.Dev.NV.SetBlobOwned(k, c.stagedBlobs[k])
+			// newCtx truncates the staged entries before anything can
+			// touch them again.
+			c.eng.Dev.NV.SetBlobOwned(c.stagedBlobs[i].k, c.stagedBlobs[i].b)
 		}
 	}
 	c.commitChans()
