@@ -313,16 +313,43 @@ func BenchmarkFleetBaseline(b *testing.B) {
 	b.ReportMetric(res.DevicesSec, "devices/sec")
 }
 
-// BenchmarkFleetBatch measures the batch-lockstep execution path in
+// BenchmarkFleetBatch measures the keyed batch-lockstep path in
 // isolation: the BenchmarkFleet workload at -jobs=1 with unlimited
-// replay width, so the devices/sec delta against BenchmarkFleetScalar
-// is purely the batch engine (no scheduling noise from the worker
-// pool). batch-replay-rate is the fraction of device operations
+// replay width and the lockstep cursor disabled (fleet.Config.NoVector),
+// so every replay still pays key construction plus the hash-map probe.
+// The devices/sec delta against BenchmarkFleetScalar is purely the
+// batch engine; against BenchmarkFleetVectorized it is purely the
+// cursor. batch-replay-rate is the fraction of device operations
 // answered by replaying a batch leader's solve; batch-mean-width is
 // how many devices, on average, advanced through one solve. The
 // report is byte-identical to the scalar path's
 // (TestFleetBatchInvariant).
 func BenchmarkFleetBatch(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		cfg := fleetBenchConfig()
+		cfg.Jobs = 1
+		cfg.NoVector = true
+		r, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+	b.ReportMetric(res.Batch.HitRate(), "batch-replay-rate")
+	b.ReportMetric(res.Batch.MeanWidth(), "batch-mean-width")
+}
+
+// BenchmarkFleetVectorized is BenchmarkFleetBatch with the lockstep
+// cursor on (the default): replays that stay in lockstep follow the
+// cache's memoized chain edges and verify the live state directly
+// against the predecessor's post-state image, skipping key construction
+// and the hash probe entirely. vector-rate is the fraction of replays
+// served through the cursor; the devices/sec delta against
+// BenchmarkFleetBatch is the cursor's whole win. Byte-identical to both
+// (TestFleetVectorInvariant).
+func BenchmarkFleetVectorized(b *testing.B) {
 	var res *fleet.Result
 	for i := 0; i < b.N; i++ {
 		cfg := fleetBenchConfig()
@@ -335,7 +362,7 @@ func BenchmarkFleetBatch(b *testing.B) {
 	}
 	b.ReportMetric(res.DevicesSec, "devices/sec")
 	b.ReportMetric(res.Batch.HitRate(), "batch-replay-rate")
-	b.ReportMetric(res.Batch.MeanWidth(), "batch-mean-width")
+	b.ReportMetric(res.Batch.VectorRate(), "vector-rate")
 }
 
 // BenchmarkFleetScalar is BenchmarkFleetBatch's control: identical

@@ -39,6 +39,8 @@ func serveHTTP(ctx context.Context, o *options, ready chan<- string) error {
 		NoMemo:        o.noMemo,
 		CacheSize:     o.cacheSize,
 		NoRecycle:     o.noRecycle,
+		Batch:         o.configBatch(),
+		NoVector:      o.noVector,
 	})
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 //
 //	capyfleet -n 10000 [-seed S] [-jobs N] [-scale F] [-json] [-o FILE]
 //	          [-memo=false] [-cache N] [-recycle=false] [-batch N]
+//	          [-vector=false]
 //	          [-cpuprofile F] [-memprofile F]
 //
 // Sharded (multi-process) mode splits one run across machines:
@@ -65,6 +66,7 @@ type options struct {
 	cacheSize int
 	noRecycle bool
 	batch     int
+	noVector  bool
 
 	serveAddr    string
 	connectAddr  string
@@ -180,6 +182,7 @@ func main() {
 	memo := flag.Bool("memo", true, "enable per-worker charge-solve memoization")
 	flag.IntVar(&o.cacheSize, "cache", 0, "memo cache entries per worker (0 = default)")
 	flag.IntVar(&o.batch, "batch", 1024, "device-op batch replay width cap (0 = scalar path, < 0 = unlimited)")
+	vector := flag.Bool("vector", true, "enable the batch path's lockstep cursor (vectorized stepping); results are identical either way")
 	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
 	flag.IntVar(&o.chunk, "chunk", 0, "devices per chunk — the checkpoint/lease granularity (0 = default)")
 	flag.StringVar(&o.serveAddr, "serve", "", "run as shard coordinator listening on this address (host:port); workers join with -connect")
@@ -200,6 +203,7 @@ func main() {
 	flag.Parse()
 	o.noMemo = !*memo
 	o.noRecycle = !*recycle
+	o.noVector = !*vector
 
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "capyfleet: %v\n", err)
@@ -262,6 +266,7 @@ func (o *options) fleetConfig() fleet.Config {
 		CacheSize: o.cacheSize,
 		NoRecycle: o.noRecycle,
 		Batch:     o.configBatch(),
+		NoVector:  o.noVector,
 	}
 }
 
@@ -387,6 +392,7 @@ func runWorker(o *options) error {
 		CacheSize: o.cacheSize,
 		NoRecycle: o.noRecycle,
 		Batch:     o.configBatch(),
+		NoVector:  o.noVector,
 		DialRetry: o.dialRetry,
 	})
 	if err != nil {

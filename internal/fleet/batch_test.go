@@ -47,6 +47,40 @@ func TestFleetBatchInvariant(t *testing.T) {
 	}
 }
 
+// TestFleetVectorInvariant: the lockstep cursor (vectorized stepping)
+// must not change a byte of the report versus either the keyed batch
+// path (NoVector) or the scalar path. The cursor replays cache entries
+// via memoized chain edges instead of building keys, so its soundness
+// rests on the link-verification argument in DESIGN.md §10 — this test
+// is the empirical check, across degenerate width 1, a small cap that
+// forces splits, and unlimited width.
+func TestFleetVectorInvariant(t *testing.T) {
+	scalar := testConfig(2, false)
+	scalar.Batch = -1
+	wantCSV, wantJSON := renderBoth(t, scalar)
+	for _, width := range []int{1, 7, 0} {
+		vec := testConfig(2, false)
+		vec.Batch = width
+		vecCSV, vecJSON := renderBoth(t, vec)
+
+		novec := testConfig(2, false)
+		novec.Batch = width
+		novec.NoVector = true
+		keyCSV, keyJSON := renderBoth(t, novec)
+
+		if vecCSV != wantCSV {
+			t.Fatalf("vectorized width %d changed the CSV report vs scalar:\n--- scalar ---\n%s--- vector ---\n%s",
+				width, wantCSV, vecCSV)
+		}
+		if vecJSON != wantJSON {
+			t.Fatalf("vectorized width %d changed the JSON report vs scalar", width)
+		}
+		if vecCSV != keyCSV || vecJSON != keyJSON {
+			t.Fatalf("vectorized width %d differs from keyed batch path (NoVector)", width)
+		}
+	}
+}
+
 // TestFleetBatchProperty: randomized specs, seeds, and widths. For each
 // random spec the scalar report is the oracle; the batch path at a
 // random width cap (and the knobs most likely to interact with it —
@@ -68,6 +102,7 @@ func TestFleetBatchProperty(t *testing.T) {
 		cfg.Batch = []int{0, 1, 1 + rng.Intn(64)}[rng.Intn(3)]
 		cfg.Jobs = 1 + rng.Intn(4)
 		cfg.NoMemo = rng.Intn(2) == 0
+		cfg.NoVector = rng.Intn(2) == 0
 		csv, js := renderBoth(t, cfg)
 		if csv != wantCSV {
 			t.Fatalf("trial %d (%+v vs scalar %+v): CSV differs:\n--- scalar ---\n%s--- batch ---\n%s",

@@ -136,6 +136,13 @@ type Config struct {
 	// every device without worker scratch, which is where the caches
 	// live).
 	Batch int
+	// NoVector disables the batch path's lockstep cursor — the
+	// vectorized stepping that certifies a replay against the previous
+	// operation's recorded post-state instead of serializing the device
+	// state and probing the key index. Replays are byte-identical with
+	// the cursor on or off (it only short-circuits the lookup), so this
+	// is a perf A/B knob, excluded from the Spec like the others.
+	NoVector bool
 	// ChunkSize is the number of consecutive devices folded per
 	// aggregation chunk (0 = 64). It must not vary with Jobs — chunk
 	// boundaries define the fold order the determinism guarantee

@@ -32,8 +32,9 @@ type Job struct {
 
 // Spec is the wire-shippable subset of Config: exactly the fields the
 // canonical report is a function of. The execution knobs (Jobs, NoMemo,
-// NoRecycle, CacheSize) are deliberately absent — they never change a
-// byte of the output, so each process in a sharded run picks its own.
+// NoRecycle, CacheSize, Batch, NoVector) are deliberately absent — they
+// never change a byte of the output, so each process in a sharded run
+// picks its own.
 type Spec struct {
 	N         int
 	Seed      int64
@@ -44,7 +45,7 @@ type Spec struct {
 // Config builds a Config from a received Spec plus local execution
 // knobs. Shard workers use it to reconstruct the coordinator's job with
 // their own parallelism and cache settings.
-func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool, batch int) Config {
+func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool, batch int, noVector bool) Config {
 	return Config{
 		N:         s.N,
 		Seed:      s.Seed,
@@ -55,6 +56,7 @@ func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool, batch
 		CacheSize: cacheSize,
 		NoRecycle: noRecycle,
 		Batch:     batch,
+		NoVector:  noVector,
 	}
 }
 
@@ -190,6 +192,9 @@ func (ws *Scratch) opsFor(j *Job, ci int) *sim.OpCache {
 	}
 	if ws.ops[ci] == nil {
 		ws.ops[ci] = sim.NewOpCache(0, j.cfg.Batch)
+		if j.cfg.NoVector {
+			ws.ops[ci].DisableVector()
+		}
 	}
 	return ws.ops[ci]
 }
@@ -305,6 +310,7 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 				Bypassed:    after.Bypassed - b.Bypassed,
 				Splits:      after.Splits - b.Splits,
 				Merges:      after.Merges - b.Merges,
+				Vector:      after.Vector - b.Vector,
 				Entries:     after.Entries,
 			}
 			cp.Ops[i] = d

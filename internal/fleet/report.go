@@ -223,8 +223,8 @@ func (r *Result) Diagnostics() string {
 		b = append(b, "memo: disabled\n"...)
 	}
 	if s := r.Batch; s.Hits+s.Misses > 0 {
-		b = fmt.Appendf(b, "batch: %d lookups, %.1f%% replayed, %d records, mean width %.1f, %d splits, %d merges, %d bypassed, %d uncacheable\n",
-			s.Hits+s.Misses, 100*s.HitRate(), s.Records, s.MeanWidth(),
+		b = fmt.Appendf(b, "batch: %d lookups, %.1f%% replayed (%.1f%% vectored), %d records, mean width %.1f, %d splits, %d merges, %d bypassed, %d uncacheable\n",
+			s.Hits+s.Misses, 100*s.HitRate(), 100*s.VectorRate(), s.Records, s.MeanWidth(),
 			s.Splits, s.Merges, s.Bypassed, s.Uncacheable)
 	} else if r.Config.Batch < 0 {
 		b = append(b, "batch: disabled\n"...)
@@ -249,8 +249,8 @@ func (r *Result) appendCohortDiagnostics(b []byte) []byte {
 		}
 		if i < len(r.CohortBatch) {
 			if s := r.CohortBatch[i]; s.Hits+s.Misses+s.Bypassed > 0 {
-				line = fmt.Appendf(line, " | batch %5.1f%% replayed, width %.1f, %d splits, %d merges",
-					100*s.HitRate(), s.MeanWidth(), s.Splits, s.Merges)
+				line = fmt.Appendf(line, " | batch %5.1f%% replayed (%.0f%% vectored), width %.1f, %d splits, %d merges",
+					100*s.HitRate(), 100*s.VectorRate(), s.MeanWidth(), s.Splits, s.Merges)
 				if s.Bypassed > 0 {
 					line = fmt.Appendf(line, ", %d bypassed", s.Bypassed)
 				}

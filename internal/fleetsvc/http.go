@@ -181,8 +181,25 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return terminal(st.State), nil
 	}
+	// finish upholds the stream contract after the 200 is committed:
+	// every stream ends with a terminal-state line. A clean terminal
+	// event already is one; an emit failure (the job vanished, or the
+	// encode broke mid-object) gets a synthetic failed-state line
+	// instead of a silent truncation the client would misread as a
+	// dropped connection. Best-effort by construction — if the
+	// connection itself is gone the write is moot.
+	finish := func(err error) {
+		if err == nil {
+			return
+		}
+		_ = enc.Encode(JobStatus{ID: id, State: StateFailed, Error: fmt.Sprintf("stream aborted: %v", err)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 
 	if done, err := emit(); done || err != nil {
+		finish(err)
 		return
 	}
 	for {
@@ -191,6 +208,7 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-ch:
 			if done, err := emit(); done || err != nil {
+				finish(err)
 				return
 			}
 		}

@@ -236,3 +236,75 @@ func TestHTTPStream(t *testing.T) {
 		t.Fatalf("final stream event %+v", last)
 	}
 }
+
+// TestHTTPStreamVanishedJobEndsTerminal pins the stream contract's hard
+// case: the 200 and some events are already written when the job
+// disappears from the service table mid-stream. The stream must still
+// end with a terminal-state line — a synthetic failed event — not a
+// silent truncation the client would misread as a dropped connection.
+func TestHTTPStreamVanishedJobEndsTerminal(t *testing.T) {
+	svc, srv := testServer(t, ServiceConfig{})
+
+	// Register a job without enqueueing it (white-box track), so it sits
+	// in queued state forever: the stream cannot race to a real terminal
+	// event before the test makes the job vanish.
+	spec := fleet.Spec{N: 16, Seed: 5, Scale: 0.02, ChunkSize: 8}
+	fj, err := fleet.NewJob(spec.Config(1, false, 0, false, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := fj.Spec()
+	id := "j900000"
+	svc.mu.Lock()
+	j := svc.track(id, fj, SpecInfo{N: resolved.N, Seed: resolved.Seed, Scale: resolved.Scale, ChunkSize: resolved.ChunkSize})
+	svc.mu.Unlock()
+
+	resp, err := srv.Client().Get(srv.URL + "/api/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream produced no first event: %v", sc.Err())
+	}
+	var first JobStatus
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first stream line: %v\n%s", err, sc.Text())
+	}
+	if first.State != StateQueued {
+		t.Fatalf("first event state %s, want queued", first.State)
+	}
+
+	// Vanish: remove the job from the lookup table (the engine never
+	// held it — it was never enqueued), then nudge the watcher so the
+	// stream handler re-reads Status and finds nothing.
+	svc.mu.Lock()
+	delete(svc.jobs, id)
+	svc.mu.Unlock()
+	j.notify()
+
+	var last JobStatus
+	lines := 0
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("stream line after vanish: %v\n%s", err, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stream truncated with no terminal line after the job vanished")
+	}
+	if !terminal(last.State) || last.State != StateFailed {
+		t.Fatalf("stream ended on state %q, want failed terminal event", last.State)
+	}
+	if last.ID != id || !strings.Contains(last.Error, "job vanished") {
+		t.Fatalf("terminal event %+v, want id %s and a vanish error", last, id)
+	}
+}

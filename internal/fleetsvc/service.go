@@ -45,6 +45,9 @@ type ServiceConfig struct {
 	// Batch is the device-op replay width cap (fleet Config.Batch:
 	// < 0 scalar, 0 unlimited, >= 1 cap).
 	Batch int
+	// NoVector disables the batch path's lockstep cursor (fleet
+	// Config.NoVector).
+	NoVector bool
 }
 
 // Job states. queued and running survive a daemon restart (the
@@ -297,7 +300,7 @@ func idNumber(id string) int {
 }
 
 func (s *Service) engineConfig(si SpecInfo) fleet.Config {
-	return si.spec().Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch)
+	return si.spec().Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch, s.cfg.NoVector)
 }
 
 // track registers a job in the in-memory table. Callers hold s.mu or
@@ -323,7 +326,7 @@ func (s *Service) track(id string, fj *fleet.Job, spec SpecInfo) *job {
 // status is the freshly queued job (it may already be running by the
 // time the caller reads the snapshot).
 func (s *Service) Submit(spec fleet.Spec) (JobStatus, error) {
-	fj, err := fleet.NewJob(spec.Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch))
+	fj, err := fleet.NewJob(spec.Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch, s.cfg.NoVector))
 	if err != nil {
 		return JobStatus{}, err
 	}

@@ -372,11 +372,18 @@ func (m *SegmentCache) put(k segKey, e *segEntry) {
 	m.cur[k] = e
 }
 
-// solveSegment answers one segment query through the memo cache when one
-// is attached, falling back to the direct solver otherwise. The contract
-// matches chargeSegment: the source output must be constant on
-// [t, t+dt).
-func (s *System) solveSegment(st Store, target units.Voltage, t, dt units.Seconds) (units.Seconds, bool) {
+// StepSegment advances st through exactly one analytic charge segment
+// of length dt toward target, answering through the memo cache when one
+// is attached and falling back to the direct closed-form solver
+// otherwise. It returns the time consumed (dt unless the target was
+// hit) and whether the target was reached. The contract matches
+// chargeSegment: the caller must guarantee the source output is
+// constant on [t, t+dt) — AdvanceCharge and TimeToChargeTo bound their
+// iterations by segmentHorizon to establish it, and sim's fused charge
+// loop passes its own source-change horizon through directly, skipping
+// the per-iteration stepping machinery for a batch of devices crossing
+// the same segment.
+func (s *System) StepSegment(st Store, target units.Voltage, t, dt units.Seconds) (units.Seconds, bool) {
 	m := s.Memo
 	if m == nil {
 		return s.chargeSegment(st, target, t, dt)

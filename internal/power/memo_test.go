@@ -128,7 +128,7 @@ func TestMemoHitRatePWM(t *testing.T) {
 	// cold-start threshold, repeat. Each cycle reissues the same
 	// (v0, target, source-level) cold-start solves — the multi-phase
 	// trajectories the cache is scoped to (warm single-phase segments
-	// deliberately bypass it; see solveSegment).
+	// deliberately bypass it; see StepSegment).
 	for cycle := 0; cycle < 200; cycle++ {
 		t0 := units.Seconds(cycle) * 8
 		sys.TimeToChargeTo(st, 2.8, t0, 8)

@@ -291,7 +291,7 @@ func (s *System) AdvanceCharge(st Store, t0, dt units.Seconds, ceiling units.Vol
 			return st.Voltage()
 		}
 		h := s.segmentHorizon(t, end-t)
-		used, reached := s.solveSegment(st, ceiling, t, h)
+		used, reached := s.StepSegment(st, ceiling, t, h)
 		t += used
 		if reached {
 			return st.Voltage()
@@ -321,7 +321,7 @@ func (s *System) TimeToChargeTo(st Store, target units.Voltage, t0, maxWait unit
 	for elapsed < maxWait {
 		t := t0 + elapsed
 		h := s.segmentHorizon(t, maxWait-elapsed)
-		used, reached := s.solveSegment(st, target, t, h)
+		used, reached := s.StepSegment(st, target, t, h)
 		elapsed += used
 		if reached {
 			return elapsed, true

@@ -462,6 +462,33 @@ func (a *Array) RestoreState(vals []float64, mask uint64) {
 	}
 }
 
+// MatchState reports whether the array's present mutable state — every
+// bank voltage, every latch voltage, and the switch configuration — is
+// bit-identical to a state previously captured by AppendState. It is
+// the sim-layer lockstep cursor's divergence check: a batch follower
+// verifies it is still on the recorded trajectory by comparing the live
+// array against the previous operation's recorded post-state, without
+// serializing the live state into a key. Comparison is on IEEE-754 bit
+// patterns, mirroring the op-cache keys (float equality would conflate
+// -0 with 0 and can never match a NaN against itself).
+func (a *Array) MatchState(vals []float64, mask uint64) bool {
+	if mask != a.actMask || len(vals) != len(a.all)+len(a.switches) {
+		return false
+	}
+	for i, b := range a.all {
+		if math.Float64bits(float64(b.Voltage())) != math.Float64bits(vals[i]) {
+			return false
+		}
+	}
+	nb := len(a.all)
+	for i, s := range a.switches {
+		if math.Float64bits(float64(s.latchV)) != math.Float64bits(vals[nb+i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // States reports each bank's condition for tracing.
 func (a *Array) States() []BankState {
 	out := []BankState{{Name: a.base.Name(), Active: true, Voltage: a.base.Voltage()}}

@@ -27,8 +27,8 @@ type Options struct {
 	// deterministically, and retrying forever would hide it.
 	MaxAttempts int
 	// RetryBackoff delays a failed chunk's re-lease, doubling per prior
-	// attempt (0 = 250ms). It keeps a crash-looping chunk from hot-
-	// cycling through the worker pool.
+	// attempt and clamped at maxRetryBackoff (0 = 250ms). It keeps a
+	// crash-looping chunk from hot-cycling through the worker pool.
 	RetryBackoff time.Duration
 	// Progress, when non-nil, receives a line of chunk/worker/
 	// throughput state every ProgressEvery (0 = 2s).
@@ -336,7 +336,32 @@ func (c *coordinator) requeueLocked(ci int, cause error) {
 		c.cond.Broadcast()
 		return
 	}
-	st.notBefore = time.Now().Add(c.opt.RetryBackoff << (st.attempts - 1))
+	st.notBefore = time.Now().Add(retryDelay(c.opt.RetryBackoff, st.attempts))
+}
+
+// maxRetryBackoff caps the exponential lease-retry backoff: past it,
+// longer waits no longer protect anything (the lease timeout itself
+// bounds how stale a worker can be) and only delay the run.
+const maxRetryBackoff = 2 * time.Minute
+
+// retryDelay returns the backoff before re-leasing a chunk that failed
+// `attempts` times: base doubled per prior attempt, clamped at
+// maxRetryBackoff. The doubling is a bounded loop, not a shift — a
+// shift by attempts-1 overflows time.Duration's int64 around attempt 40
+// with the default base, silently producing a negative delay (backoff
+// vanishes) or a far-future notBefore (the chunk is never re-leased and
+// the run stalls). A base already at or above the cap is honored
+// unchanged: the cap bounds growth, it never shortens a configured
+// backoff.
+func retryDelay(base time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 1; i < attempts && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff && base < maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
 }
 
 // releaseWorker requeues every chunk the dead worker still holds.

@@ -171,7 +171,7 @@ func rawDial(t *testing.T, addr string, capacity int) (*frameConn, *frame) {
 	if err != nil || jobFrame.Type != msgJob {
 		t.Fatalf("handshake read: %v (type %v)", err, jobFrame.Type)
 	}
-	job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0))
+	job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,8 +293,14 @@ func TestShardLeaseTimeoutReLeased(t *testing.T) {
 	cfg := testConfig()
 	wantCSV, _ := renderRun(t, cfg)
 	stallDropped := make(chan struct{})
+	// MaxAttempts has headroom well past the default 3: the stalling
+	// worker re-grabs pending chunks as fast as leases expire, so on a
+	// loaded box it can legitimately burn several attempts of one chunk
+	// before the healthy worker frees up and claims it. The test's
+	// subject is re-leasing, not attempt exhaustion (that's
+	// TestShardRetriesExhausted).
 	res, errs := serveWith(t, cfg,
-		Options{LeaseTimeout: 200 * time.Millisecond, RetryBackoff: time.Millisecond},
+		Options{LeaseTimeout: 200 * time.Millisecond, RetryBackoff: time.Millisecond, MaxAttempts: 64},
 		worker(2, WorkerOptions{}),
 		func(addr string) error {
 			fc, _ := rawDial(t, addr, 1)
@@ -362,7 +368,7 @@ func chunk0Refuser(addr string) error {
 			fc.close()
 			return nil
 		}
-		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0))
+		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0, false))
 		if err != nil {
 			fc.close()
 			return err

@@ -27,6 +27,9 @@ type WorkerOptions struct {
 	// Config.Batch: < 0 scalar, 0 unlimited, >= 1 cap). Like the other
 	// knobs it never changes a byte of the report.
 	Batch int
+	// NoVector disables the batch path's lockstep cursor on this
+	// worker (fleet Config.NoVector).
+	NoVector bool
 	// DialRetry keeps retrying the initial connection for this long
 	// (0 = fail on the first refused dial). It lets workers start
 	// before the coordinator is listening — the usual two-terminal and
@@ -75,7 +78,7 @@ func Work(ctx context.Context, addr string, jobs int, opts WorkerOptions) error 
 	if f.Job.Proto != protoVersion {
 		return fmt.Errorf("shard: protocol version mismatch: coordinator %d, worker %d", f.Job.Proto, protoVersion)
 	}
-	job, err := fleet.NewJob(f.Job.Spec.Config(jobs, opts.NoMemo, opts.CacheSize, opts.NoRecycle, opts.Batch))
+	job, err := fleet.NewJob(f.Job.Spec.Config(jobs, opts.NoMemo, opts.CacheSize, opts.NoRecycle, opts.Batch, opts.NoVector))
 	if err != nil {
 		fc.write(&frame{Type: msgError, Error: err.Error()})
 		return fmt.Errorf("shard: bad job spec: %w", err)

@@ -96,6 +96,11 @@ type OpCacheStats struct {
 	// stream (a device leaving a shared trajectory); Merges counts
 	// solve->replay transitions (rejoining one).
 	Splits, Merges uint64
+	// Vector counts the subset of Hits answered by the lockstep cursor:
+	// replays certified against the previous operation's recorded
+	// post-state without serializing the device state, building a key,
+	// or probing the key index (see vectorNext).
+	Vector uint64
 	// Entries is the number of recorded operations currently retained.
 	Entries int
 }
@@ -119,6 +124,15 @@ func (s OpCacheStats) MeanWidth() float64 {
 	return float64(s.Hits+s.Records) / float64(s.Records)
 }
 
+// VectorRate returns the fraction of replays answered by the lockstep
+// cursor rather than the keyed lookup path.
+func (s OpCacheStats) VectorRate() float64 {
+	if s.Hits == 0 {
+		return 0
+	}
+	return float64(s.Vector) / float64(s.Hits)
+}
+
 // Add accumulates another cache's counters.
 func (s *OpCacheStats) Add(o OpCacheStats) {
 	s.Hits += o.Hits
@@ -128,6 +142,7 @@ func (s *OpCacheStats) Add(o OpCacheStats) {
 	s.Bypassed += o.Bypassed
 	s.Splits += o.Splits
 	s.Merges += o.Merges
+	s.Vector += o.Vector
 	s.Entries += o.Entries
 }
 
@@ -148,7 +163,14 @@ type opEntry struct {
 	// recorded, for the batch-width cap.
 	replays  int32
 	dReverts int32
-	mask     uint64
+	// linked memoizes the lockstep-cursor validity of the next edge:
+	// 0 unverified, 1 verified (next's keyed state prefix is
+	// byte-identical to this entry's recorded post-state), 2 verified
+	// mismatched. Re-zeroed only when the edge is rewired; preserved on
+	// in-place re-record (an identical key records an identical
+	// post-state, so edge validity cannot change).
+	linked uint8
+	mask   uint64
 	// dur is the operation's time span: Drain's sustained span or
 	// ChargeTo's elapsed-to-target.
 	dur units.Seconds
@@ -198,6 +220,9 @@ type OpCache struct {
 	// the split/merge counters: 0 unknown, 1 replayed, 2 solved.
 	streak uint8
 
+	// novec disables the lockstep cursor (see DisableVector).
+	novec bool
+
 	// decided/bypass implement the probation policy: after opProbation
 	// cacheable calls the cache either commits to replay or bypasses —
 	// some cohorts' trajectories drift through never-repeating states
@@ -240,6 +265,12 @@ func NewOpCache(max, width int) *OpCache {
 		last:  -1,
 	}
 }
+
+// DisableVector turns the lockstep cursor off, forcing every replay
+// through the keyed lookup path. Results are identical either way (the
+// cursor only certifies what the key comparison would have verified) —
+// this is the A/B control behind the fleet NoVector knob.
+func (c *OpCache) DisableVector() { c.novec = true }
 
 // Stats returns the cache's counters.
 func (c *OpCache) Stats() OpCacheStats {
@@ -363,6 +394,86 @@ const (
 	opCharge byte = 2
 )
 
+// Key layout: [tag 1][device id 4][mask 8][state words 8×S][args]. The
+// lockstep cursor indexes the args suffix directly, so the section
+// sizes are fixed here rather than implied by the append sequence.
+const (
+	opKeyHdr     = 13 // tag + device id + active mask
+	opDrainArgs  = 17 // load power + dt + powered bit
+	opChargeArgs = 24 // target + raw power + source voltage
+)
+
+// vectorNext is the lockstep cursor: without serializing state or
+// building a key, it returns the young-generation entry predicted to
+// answer the current call, or -1. The prediction is the chain successor
+// of the previously-used entry, and it is *certified*, not just hinted,
+// by three checks that together imply the successor's keyed state
+// prefix equals the live device state bit for bit:
+//
+//   - the link edge is verified once and memoized in the predecessor's
+//     linked flag: the successor's keyed mask and state words equal the
+//     predecessor's recorded post-state image (verifyLink);
+//   - the successor's keyed device id equals the live device's (two
+//     heterogeneous devices can pass through coincidentally equal
+//     states);
+//   - the live array still matches the predecessor's post-state image
+//     (Array.MatchState), which catches any mutation made outside the
+//     cached ops — e.g. Capy-P's direct pre-sleep voltage downscale.
+//
+// Transitivity then does the rest: live state == predecessor post-state
+// == successor key prefix, which is exactly what find()'s full-key
+// memcmp would have established. The caller still owns the op-specific
+// suffix checks: tag, exact key length, argument bytes, width cap. ao
+// is the args-suffix offset within the successor's key, valid whenever
+// n >= 0.
+func (c *OpCache) vectorNext(d *Device) (n, ao int32) {
+	if c.novec || c.last < 0 {
+		return -1, 0
+	}
+	p := &c.cur.ents[c.last]
+	if p.next < 0 {
+		return -1, 0
+	}
+	if p.linked == 0 {
+		p.linked = c.verifyLink(p)
+	}
+	if p.linked != 1 {
+		return -1, 0
+	}
+	e := &c.cur.ents[p.next]
+	key := c.cur.keys[e.koff : e.koff+e.klen]
+	if binary.LittleEndian.Uint32(key[1:5]) != c.deviceID(d) {
+		return -1, 0
+	}
+	if !d.Array.MatchState(c.cur.arena[p.soff:p.soff+p.slen], p.mask) {
+		return -1, 0
+	}
+	return p.next, opKeyHdr + 8*p.slen
+}
+
+// verifyLink decides a chain edge's lockstep validity: 1 when the
+// successor's keyed (mask, state words) prefix is byte-identical to the
+// predecessor's recorded post-state, 2 otherwise. With equal device
+// ids (checked by the caller) equal fingerprints imply equal state
+// sizes, so a valid prefix of p.slen words positions the successor's
+// argument suffix at opKeyHdr + 8*p.slen exactly.
+func (c *OpCache) verifyLink(p *opEntry) uint8 {
+	e := &c.cur.ents[p.next]
+	key := c.cur.keys[e.koff : e.koff+e.klen]
+	if int32(len(key)) < opKeyHdr+8*p.slen {
+		return 2
+	}
+	if binary.LittleEndian.Uint64(key[5:opKeyHdr]) != p.mask {
+		return 2
+	}
+	for i, v := range c.cur.arena[p.soff : p.soff+p.slen] {
+		if binary.LittleEndian.Uint64(key[opKeyHdr+8*i:]) != math.Float64bits(v) {
+			return 2
+		}
+	}
+	return 1
+}
+
 // beginKey starts a key in the cache's scratch buffer: operation tag,
 // device fingerprint id, and the full mutable array state (active mask,
 // bank voltages, latch voltages) as exact bit patterns. The caller
@@ -419,6 +530,7 @@ func (c *OpCache) put(e opEntry, st []float64) int32 {
 		e.soff, e.slen = old.soff, old.slen
 		e.koff, e.klen = old.koff, old.klen
 		e.next = old.next
+		e.linked = old.linked
 		*old = e
 		return i
 	}
@@ -446,9 +558,14 @@ func (c *OpCache) put(e opEntry, st []float64) int32 {
 
 // link records that entry i followed the previously-used entry in the
 // call stream, teaching the chain the trajectory for the next device.
+// A rewired edge drops its memoized lockstep verdict; re-linking the
+// same successor keeps it.
 func (c *OpCache) link(i int32) {
 	if c.last >= 0 {
-		c.cur.ents[c.last].next = i
+		if p := &c.cur.ents[c.last]; p.next != i {
+			p.next = i
+			p.linked = 0
+		}
 	}
 	c.last = i
 }
@@ -474,6 +591,27 @@ func (d *Device) applyState(e *opEntry, g *opGen) {
 // exactly once, at the span start.
 func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
 	powered := d.powerAt(d.now) > 0
+	if n, ao := c.vectorNext(d); n >= 0 {
+		e := &c.cur.ents[n]
+		key := c.cur.keys[e.koff : e.koff+e.klen]
+		if key[0] == opDrain && e.klen == ao+opDrainArgs &&
+			binary.LittleEndian.Uint64(key[ao:]) == math.Float64bits(float64(loadPower)) &&
+			binary.LittleEndian.Uint64(key[ao+8:]) == math.Float64bits(float64(dt)) &&
+			(key[ao+16] == 1) == powered &&
+			!c.capped(e) {
+			e.replays++
+			c.noteReplay()
+			c.stats.Vector++
+			c.link(n)
+			d.applyState(e, &c.cur)
+			d.Stats.TimeOn += e.dur
+			d.Stats.EnergyDrawn += units.Energy(e.energy)
+			if !e.flag {
+				d.Stats.Brownouts++
+			}
+			return e.dur, e.flag
+		}
+	}
 	c.beginKey(opDrain, d)
 	k := appendBits(c.key, loadPower)
 	k = appendBits(k, dt)
@@ -541,6 +679,37 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 		return d.chargeSlow(target, maxWait)
 	}
 	srcV := src.VoltageAt(d.now)
+	if n, ao := c.vectorNext(d); n >= 0 {
+		e := &c.cur.ents[n]
+		key := c.cur.keys[e.koff : e.koff+e.klen]
+		if key[0] == opCharge && e.klen == ao+opChargeArgs &&
+			binary.LittleEndian.Uint64(key[ao:]) == math.Float64bits(float64(target)) &&
+			binary.LittleEndian.Uint64(key[ao+8:]) == math.Float64bits(float64(raw)) &&
+			binary.LittleEndian.Uint64(key[ao+16:]) == math.Float64bits(float64(srcV)) {
+			if e.dur > maxWait {
+				// Same deadline rule as the keyed path below: the
+				// recorded completion does not fit this call's window.
+				c.noteUncacheable()
+				return d.chargeSlow(target, maxWait)
+			}
+			if !c.capped(e) {
+				e.replays++
+				c.noteReplay()
+				c.stats.Vector++
+				c.link(n)
+				d.applyState(e, &c.cur)
+				if e.flag {
+					d.Stats.TimeCharging += e.dur
+				} else {
+					d.Stats.TimeOff += e.dur
+				}
+				if e.energy != 0 {
+					d.Stats.EnergyIntoStore += units.Energy(e.energy)
+				}
+				return e.dur, true
+			}
+		}
+	}
 	c.beginKey(opCharge, d)
 	k := appendBits(c.key, target)
 	k = appendBits(k, raw)

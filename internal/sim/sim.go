@@ -320,10 +320,21 @@ const chargeStep units.Seconds = 1.0
 // additionally split at the next latch expiry during true outages (so
 // reverts land at the right instant) and, when a voltage trace is
 // being recorded, capped so the trajectory stays plottable.
-func (d *Device) chargeHorizon(remain units.Seconds) units.Seconds {
-	step := remain
+//
+// whole reports that the source promised a positive constancy horizon:
+// the returned step is then one exact analytic segment, either because
+// step never exceeded the promise or because the MinAdvance floor
+// dominated it — in which case power.segmentHorizon would floor to the
+// identical value. Either way TimeToChargeTo's inner stepping collapses
+// to a single StepSegment call with bit-identical arguments, so the
+// caller may invoke StepSegment directly and skip the re-derivation of
+// the same horizon.
+func (d *Device) chargeHorizon(remain units.Seconds) (step units.Seconds, whole bool) {
+	step = remain
+	whole = true
 	if h := harvest.NextChange(d.Sys.Source, d.now); h <= 0 {
 		step = min(step, chargeStep)
+		whole = false
 	} else if h < step {
 		step = h
 	}
@@ -349,7 +360,7 @@ func (d *Device) chargeHorizon(remain units.Seconds) units.Seconds {
 	if m := units.MinAdvance(d.now); step < m {
 		step = m
 	}
-	return step
+	return step, whole
 }
 
 // ChargeTo accumulates energy with the processor off until the active
@@ -385,7 +396,7 @@ func (d *Device) chargeSlow(target units.Voltage, maxWait units.Seconds) (units.
 		if elapsed >= maxWait {
 			return elapsed, false
 		}
-		step := d.chargeHorizon(maxWait - elapsed)
+		step, whole := d.chargeHorizon(maxWait - elapsed)
 		// Within one segment the source output is constant, so whether
 		// charge power flows is decided once, at the segment start —
 		// the whole span is attributed to the matching counter. (The
@@ -395,7 +406,17 @@ func (d *Device) chargeSlow(target units.Voltage, maxWait units.Seconds) (units.
 		v0 := set.Voltage()
 		charging := d.Sys.ChargePower(v0, start) > 0
 		before := set.Energy()
-		used, reached := d.Sys.TimeToChargeTo(set, target, start, step)
+		var used units.Seconds
+		var reached bool
+		if whole {
+			// The horizon is one exact analytic segment, so the general
+			// charge stepper collapses to a single closed-form segment
+			// solve: same float operations, one fewer source-horizon
+			// walk per segment.
+			used, reached = d.Sys.StepSegment(set, target, start, step)
+		} else {
+			used, reached = d.Sys.TimeToChargeTo(set, target, start, step)
+		}
 		if gained := set.Energy() - before; gained > 0 {
 			d.Stats.EnergyIntoStore += gained
 		}
