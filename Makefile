@@ -46,7 +46,7 @@ bench-compare:
 	cp BENCH_sim.json BENCH_sim.base.json
 	$(MAKE) bench-short
 	status=0; $(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) -min $(BENCH_MIN) \
-		-metric devices/sec:+ -metric memo-hit-rate:+ -metric vector-rate:+ \
+		-metric devices/sec:+ -metric memo-hit-rate:+ -metric vector-rate:+ -metric fused-rate:+ \
 		BENCH_sim.base.json BENCH_sim.json || status=$$?; \
 	rm -f BENCH_sim.base.json; exit $$status
 

@@ -19,6 +19,7 @@ import (
 	"capybara/internal/experiments"
 	"capybara/internal/fleet"
 	"capybara/internal/shard"
+	"capybara/internal/task"
 )
 
 // BenchmarkFigure2 regenerates the fixed-capacity trade-off traces.
@@ -342,14 +343,44 @@ func BenchmarkFleetBatch(b *testing.B) {
 }
 
 // BenchmarkFleetVectorized is BenchmarkFleetBatch with the lockstep
-// cursor on (the default): replays that stay in lockstep follow the
-// cache's memoized chain edges and verify the live state directly
-// against the predecessor's post-state image, skipping key construction
-// and the hash probe entirely. vector-rate is the fraction of replays
-// served through the cursor; the devices/sec delta against
-// BenchmarkFleetBatch is the cursor's whole win. Byte-identical to both
+// cursor on: replays that stay in lockstep follow the cache's memoized
+// chain edges and verify the live state directly against the
+// predecessor's post-state image, skipping key construction and the
+// hash probe entirely. vector-rate is the fraction of replays served
+// through the cursor; the devices/sec delta against BenchmarkFleetBatch
+// is the cursor's whole win. Fused stepping is off, so this is also the
+// pure stage-2 control for BenchmarkFleetFused. Byte-identical to both
 // (TestFleetVectorInvariant).
 func BenchmarkFleetVectorized(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		cfg := fleetBenchConfig()
+		cfg.Jobs = 1
+		cfg.NoFuse = true
+		r, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+	b.ReportMetric(res.Batch.HitRate(), "batch-replay-rate")
+	b.ReportMetric(res.Batch.VectorRate(), "vector-rate")
+}
+
+// BenchmarkFleetFused is the full stage-3 engine (the default knob
+// mix): fused task-engine stepping over the vectorized batch path.
+// Lockstep cohorts replay whole engine steps — power-manager prepare,
+// task body, transition commit — from recorded effect tapes, and
+// bit-exact fixed-point steps spin for whole verified spans without
+// returning to the engine loop. fused-rate is the fraction of eligible
+// engine steps served by replay (fleet-wide); capyP-fused-rate scopes
+// it to the Capy-P steady cohorts, the lockstep population the paper's
+// architecture targets (time-varying-source cohorts are designed out:
+// their steps fail the constancy evidence and adaptively bypass). The
+// devices/sec delta against BenchmarkFleetVectorized is fusion's whole
+// win; the report is byte-identical (TestFleetVectorInvariant).
+func BenchmarkFleetFused(b *testing.B) {
 	var res *fleet.Result
 	for i := 0; i < b.N; i++ {
 		cfg := fleetBenchConfig()
@@ -360,9 +391,16 @@ func BenchmarkFleetVectorized(b *testing.B) {
 		}
 		res = r
 	}
+	var capyP task.FuseStats
+	for i, cs := range res.Cohorts {
+		if cs.Cohort.Variant == core.CapyP && cs.Cohort.Scenario == fleet.Steady {
+			capyP.Add(res.CohortFuse[i])
+		}
+	}
 	b.ReportMetric(res.DevicesSec, "devices/sec")
-	b.ReportMetric(res.Batch.HitRate(), "batch-replay-rate")
-	b.ReportMetric(res.Batch.VectorRate(), "vector-rate")
+	b.ReportMetric(res.Fuse.FusedRate(), "fused-rate")
+	b.ReportMetric(capyP.FusedRate(), "capyP-fused-rate")
+	b.ReportMetric(res.Fuse.HintRate(), "fuse-hint-rate")
 }
 
 // BenchmarkFleetScalar is BenchmarkFleetBatch's control: identical

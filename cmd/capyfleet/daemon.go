@@ -41,6 +41,9 @@ func serveHTTP(ctx context.Context, o *options, ready chan<- string) error {
 		NoRecycle:     o.noRecycle,
 		Batch:         o.configBatch(),
 		NoVector:      o.noVector,
+		NoFuse:        o.noFuse,
+		BypassAfter:   o.bypassAfter,
+		BypassBelow:   o.bypassBelow,
 	})
 	if err != nil {
 		return err

@@ -6,7 +6,7 @@
 //
 //	capyfleet -n 10000 [-seed S] [-jobs N] [-scale F] [-json] [-o FILE]
 //	          [-memo=false] [-cache N] [-recycle=false] [-batch N]
-//	          [-vector=false]
+//	          [-vector=false] [-fuse=false] [-bypass-after N] [-bypass-below F]
 //	          [-cpuprofile F] [-memprofile F]
 //
 // Sharded (multi-process) mode splits one run across machines:
@@ -67,6 +67,10 @@ type options struct {
 	noRecycle bool
 	batch     int
 	noVector  bool
+	noFuse    bool
+
+	bypassAfter uint64
+	bypassBelow float64
 
 	serveAddr    string
 	connectAddr  string
@@ -183,6 +187,9 @@ func main() {
 	flag.IntVar(&o.cacheSize, "cache", 0, "memo cache entries per worker (0 = default)")
 	flag.IntVar(&o.batch, "batch", 1024, "device-op batch replay width cap (0 = scalar path, < 0 = unlimited)")
 	vector := flag.Bool("vector", true, "enable the batch path's lockstep cursor (vectorized stepping); results are identical either way")
+	fuse := flag.Bool("fuse", true, "enable fused task-engine stepping for lockstep cohorts; results are identical either way")
+	flag.Uint64Var(&o.bypassAfter, "bypass-after", 0, "op-cache probation: calls before the bypass heuristic may trip (0 = default 32768)")
+	flag.Float64Var(&o.bypassBelow, "bypass-below", 0, "op-cache probation: minimum replay rate to stay engaged (0 = default 0.6)")
 	recycle := flag.Bool("recycle", true, "recycle per-worker scratch (recorders, shared memo cache); false builds every device fresh")
 	flag.IntVar(&o.chunk, "chunk", 0, "devices per chunk — the checkpoint/lease granularity (0 = default)")
 	flag.StringVar(&o.serveAddr, "serve", "", "run as shard coordinator listening on this address (host:port); workers join with -connect")
@@ -204,6 +211,7 @@ func main() {
 	o.noMemo = !*memo
 	o.noRecycle = !*recycle
 	o.noVector = !*vector
+	o.noFuse = !*fuse
 
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "capyfleet: %v\n", err)
@@ -265,8 +273,11 @@ func (o *options) fleetConfig() fleet.Config {
 		NoMemo:    o.noMemo,
 		CacheSize: o.cacheSize,
 		NoRecycle: o.noRecycle,
-		Batch:     o.configBatch(),
-		NoVector:  o.noVector,
+		Batch:       o.configBatch(),
+		NoVector:    o.noVector,
+		NoFuse:      o.noFuse,
+		BypassAfter: o.bypassAfter,
+		BypassBelow: o.bypassBelow,
 	}
 }
 
@@ -388,12 +399,15 @@ func runCoordinator(o *options) error {
 func runWorker(o *options) error {
 	fmt.Fprintf(os.Stderr, "capyfleet: worker connecting to %s (%d jobs)\n", o.connectAddr, o.jobs)
 	err := shard.Work(context.Background(), o.connectAddr, o.jobs, shard.WorkerOptions{
-		NoMemo:    o.noMemo,
-		CacheSize: o.cacheSize,
-		NoRecycle: o.noRecycle,
-		Batch:     o.configBatch(),
-		NoVector:  o.noVector,
-		DialRetry: o.dialRetry,
+		NoMemo:      o.noMemo,
+		CacheSize:   o.cacheSize,
+		NoRecycle:   o.noRecycle,
+		Batch:       o.configBatch(),
+		NoVector:    o.noVector,
+		NoFuse:      o.noFuse,
+		BypassAfter: o.bypassAfter,
+		BypassBelow: o.bypassBelow,
+		DialRetry:   o.dialRetry,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"capybara/internal/metrics"
 	"capybara/internal/power"
 	"capybara/internal/sim"
+	"capybara/internal/task"
 )
 
 // Scratch bundles the reusable per-run state an application build
@@ -41,6 +42,13 @@ type Scratch struct {
 	// are byte-identical to direct solves for every report-visible
 	// quantity; nil leaves the scalar path in effect.
 	Ops *sim.OpCache
+	// Fuse, when non-nil, attaches the fused task-engine stepper (see
+	// task.StepFuser): whole lockstep engine steps recorded once and
+	// replayed across the cohort. Builders wire it — together with the
+	// schedule and recorder its evidence checks need — into instances
+	// whose task bodies satisfy the fusion contract (GRC, CSR; not TA,
+	// whose every step stages a durable write).
+	Fuse *task.StepFuser
 }
 
 // Reset clears the run state for the next device. Backing storage and

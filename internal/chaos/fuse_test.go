@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"testing"
+
+	"capybara/internal/core"
+	"capybara/internal/device"
+	"capybara/internal/env"
+	"capybara/internal/metrics"
+	"capybara/internal/runner"
+	"capybara/internal/task"
+	"capybara/internal/units"
+)
+
+// buildFusedWorkload replicates the task-workload scenario with the
+// fused stepper force-attached: randomized hardware, a fault-wrapped
+// harvester, and the writer/reader channel-atomicity program, with a
+// StepFuser (plus the schedule and recorder its evidence checks need)
+// wired into the engine the way the fleet's builders wire it.
+func buildFusedWorkload(t *testing.T, job int, seed int64, maxViol int) (*trial, *core.Instance, *task.StepFuser) {
+	t.Helper()
+	rng := runner.RNG(seed, job)
+	base, switched, kind, fs := genParts(rng)
+	maskAll := uint64(1)<<uint(1+len(switched)) - 1
+	variant := core.CapyP
+	if rng.Intn(2) == 0 {
+		variant = core.CapyR
+	}
+	tr := &trial{job: job, seed: seed, rng: rng, scenario: "task-workload", fs: fs}
+
+	writer := &task.Task{
+		Name:   "writer",
+		Config: "hi",
+		Run: func(c *task.Ctx) task.Next {
+			c.Compute(2_000 + float64(rng.Intn(20_000)))
+			n := c.WordOr("n", 0) + 1
+			c.SetWord("n", n)
+			c.ChanOut("reader", "a", n)
+			c.ChanOut("reader", "b", 2*n)
+			return "reader"
+		},
+	}
+	reader := &task.Task{
+		Name:   "reader",
+		Config: "lo",
+		Run: func(c *task.Ctx) task.Next {
+			a, okA := c.ChanIn("a", "writer")
+			b, okB := c.ChanIn("b", "writer")
+			if okA != okB || (okA && b != 2*a) {
+				tr.chk.Failf("channel-atomicity", c.Now(),
+					"reader saw torn pair: a=%d(%v) b=%d(%v)", a, okA, b, okB)
+			}
+			c.Compute(1_000 + float64(rng.Intn(5_000)))
+			return "writer"
+		},
+	}
+	prog := task.MustProgram("writer", writer, reader)
+
+	inst, err := core.New(core.Config{
+		Variant:    variant,
+		Source:     fs,
+		MCU:        device.MSP430FR5969(),
+		Base:       base,
+		Switched:   switched,
+		SwitchKind: kind,
+		Modes: []core.Mode{
+			{Name: "hi", Mask: maskAll},
+			{Name: "lo", Mask: 1, VTop: 2.2},
+		},
+	}, prog)
+	if err != nil {
+		t.Fatalf("chaos: fused workload construction failed: %v", err)
+	}
+	fuser := task.NewStepFuser()
+	inst.Engine.Fuse = fuser
+	inst.Engine.FuseSched = env.Schedule{}
+	inst.Engine.Rec = &metrics.Recorder{}
+	tr.dev, tr.arr = inst.Dev, inst.Dev.Array
+	tr.chk = NewChecker(tr.dev, job, seed)
+	tr.chk.MaxViolations = maxViol
+	return tr, inst, fuser
+}
+
+// TestFuseObserverGate force-enables fused stepping on the chaos task
+// workload and attaches the invariant-checking observer, exactly like a
+// chaos trial. The fused path must disable itself under the observer —
+// the same gate the powerAt memo honors — so the checker sees every
+// event, every invariant holds, and the fuser records and replays
+// nothing. A control run without the observer pins that the gate (not
+// some other precondition) is what held fusion back.
+func TestFuseObserverGate(t *testing.T) {
+	const horizon = units.Seconds(300)
+	var controlSteps uint64
+	for job := 0; job < 8; job++ {
+		tr, inst, fuser := buildFusedWorkload(t, job, 0xface, 8)
+		tr.dev.Obs = &observer{chk: tr.chk}
+		tr.scheduleRandomCuts(horizon)
+		if err := inst.Run(horizon); err != nil {
+			t.Fatalf("job %d: engine error: %v", job, err)
+		}
+		st := fuser.Stats()
+		if st.Steps != 0 || st.Replays != 0 || st.Records != 0 {
+			t.Fatalf("job %d: observer gate leaked: fuser stats %+v", job, st)
+		}
+		if len(tr.chk.Violations) != 0 {
+			for _, v := range tr.chk.Violations {
+				t.Errorf("job %d: %v", job, v)
+			}
+			t.Fatalf("job %d: %d invariant violations with fusion force-enabled", job, len(tr.chk.Violations))
+		}
+		if tr.chk.Events == 0 {
+			t.Fatalf("job %d: observer saw no events — gate test is vacuous", job)
+		}
+
+		// Control: identical build, no observer. The engine must at least
+		// consider fusion (Steps counts gate-passing step attempts), which
+		// proves the gated runs were held back by the observer alone.
+		ctr, cinst, cfuser := buildFusedWorkload(t, job, 0xface, 8)
+		ctr.scheduleRandomCuts(horizon)
+		if err := cinst.Run(horizon); err != nil {
+			t.Fatalf("job %d control: engine error: %v", job, err)
+		}
+		controlSteps += cfuser.Stats().Steps
+	}
+	if controlSteps == 0 {
+		t.Fatalf("control runs never passed the fusion gates — observer-gate assertion is vacuous")
+	}
+}

@@ -121,6 +121,15 @@ type Runtime struct {
 	modeNext uint8
 }
 
+// FuseCounters exposes the power-manager bookkeeping counters a fused
+// engine step must track: the fused stepper (task.StepFuser) records
+// their deltas at the leader and applies them to followers without
+// re-running Prepare. Implements the fuser's optional counter
+// interface; a PowerManager without it is simply not fusible.
+func (r *Runtime) FuseCounters() (reconfigs, precharges *int) {
+	return &r.Reconfigs, &r.Precharges
+}
+
 // mode resolves name against the mode table through the memo.
 func (r *Runtime) mode(name task.EnergyMode) (Mode, bool) {
 	for i := range r.modeMemo {

@@ -47,36 +47,36 @@ func TestFleetBatchInvariant(t *testing.T) {
 	}
 }
 
-// TestFleetVectorInvariant: the lockstep cursor (vectorized stepping)
-// must not change a byte of the report versus either the keyed batch
-// path (NoVector) or the scalar path. The cursor replays cache entries
-// via memoized chain edges instead of building keys, so its soundness
-// rests on the link-verification argument in DESIGN.md §10 — this test
-// is the empirical check, across degenerate width 1, a small cap that
-// forces splits, and unlimited width.
+// TestFleetVectorInvariant: neither the lockstep cursor (vectorized
+// stepping) nor fused task-engine stepping may change a byte of the
+// report versus the scalar path, alone or combined, at any batch
+// width. The cursor replays cache entries via memoized chain edges and
+// the fuser replays whole engine steps from recorded effect tapes, so
+// their soundness rests on the evidence arguments in DESIGN.md §10 —
+// this test is the empirical check, across degenerate width 1, a small
+// cap that forces splits, and unlimited width, at every knob mix.
 func TestFleetVectorInvariant(t *testing.T) {
 	scalar := testConfig(2, false)
 	scalar.Batch = -1
+	scalar.NoFuse = true
 	wantCSV, wantJSON := renderBoth(t, scalar)
 	for _, width := range []int{1, 7, 0} {
-		vec := testConfig(2, false)
-		vec.Batch = width
-		vecCSV, vecJSON := renderBoth(t, vec)
-
-		novec := testConfig(2, false)
-		novec.Batch = width
-		novec.NoVector = true
-		keyCSV, keyJSON := renderBoth(t, novec)
-
-		if vecCSV != wantCSV {
-			t.Fatalf("vectorized width %d changed the CSV report vs scalar:\n--- scalar ---\n%s--- vector ---\n%s",
-				width, wantCSV, vecCSV)
-		}
-		if vecJSON != wantJSON {
-			t.Fatalf("vectorized width %d changed the JSON report vs scalar", width)
-		}
-		if vecCSV != keyCSV || vecJSON != keyJSON {
-			t.Fatalf("vectorized width %d differs from keyed batch path (NoVector)", width)
+		for _, noVector := range []bool{false, true} {
+			for _, noFuse := range []bool{false, true} {
+				cfg := testConfig(2, false)
+				cfg.Batch = width
+				cfg.NoVector = noVector
+				cfg.NoFuse = noFuse
+				csv, js := renderBoth(t, cfg)
+				if csv != wantCSV {
+					t.Fatalf("width %d NoVector=%v NoFuse=%v changed the CSV report vs scalar:\n--- scalar ---\n%s--- got ---\n%s",
+						width, noVector, noFuse, wantCSV, csv)
+				}
+				if js != wantJSON {
+					t.Fatalf("width %d NoVector=%v NoFuse=%v changed the JSON report vs scalar",
+						width, noVector, noFuse)
+				}
+			}
 		}
 	}
 }
@@ -96,6 +96,7 @@ func TestFleetBatchProperty(t *testing.T) {
 		scalar := spec
 		scalar.Batch = -1
 		scalar.Jobs = 1
+		scalar.NoFuse = true
 		wantCSV, wantJSON := renderBoth(t, scalar)
 
 		cfg := spec
@@ -103,6 +104,7 @@ func TestFleetBatchProperty(t *testing.T) {
 		cfg.Jobs = 1 + rng.Intn(4)
 		cfg.NoMemo = rng.Intn(2) == 0
 		cfg.NoVector = rng.Intn(2) == 0
+		cfg.NoFuse = rng.Intn(2) == 0
 		csv, js := renderBoth(t, cfg)
 		if csv != wantCSV {
 			t.Fatalf("trial %d (%+v vs scalar %+v): CSV differs:\n--- scalar ---\n%s--- batch ---\n%s",
@@ -144,7 +146,7 @@ func FuzzBatchSplit(f *testing.F) {
 		}
 		want, ok := oracle[key]
 		if !ok {
-			scalar := Config{N: key.n, Seed: key.seed, Scale: key.scale, Jobs: 1, Batch: -1}
+			scalar := Config{N: key.n, Seed: key.seed, Scale: key.scale, Jobs: 1, Batch: -1, NoFuse: true}
 			csv, js := renderBoth(t, scalar)
 			want = [2]string{csv, js}
 			oracle[key] = want
@@ -154,6 +156,9 @@ func FuzzBatchSplit(f *testing.F) {
 			width = -width
 		}
 		cfg.Batch = int(width) // 0 = unlimited, else the cap
+		// The fused-stepping knob rides the existing inputs so the seed
+		// corpus keeps exploring both sides of it.
+		cfg.NoFuse = scaleRaw&1 == 1
 		csv, js := renderBoth(t, cfg)
 		if csv != want[0] {
 			t.Fatalf("batch width %d diverged from scalar for %+v:\n--- scalar ---\n%s--- batch ---\n%s",

@@ -49,6 +49,7 @@ import (
 	"capybara/internal/power"
 	"capybara/internal/runner"
 	"capybara/internal/sim"
+	"capybara/internal/task"
 	"capybara/internal/units"
 )
 
@@ -143,6 +144,22 @@ type Config struct {
 	// the cursor on or off (it only short-circuits the lookup), so this
 	// is a perf A/B knob, excluded from the Spec like the others.
 	NoVector bool
+	// NoFuse disables fused task-engine stepping — the per-cohort
+	// task.StepFuser that records a whole engine step (task transition,
+	// RNG draw, event bookkeeping, clock advance) once and replays it
+	// across lockstep devices. Fused steps are byte-identical to scalar
+	// ones for every report-visible quantity, so this too is a perf A/B
+	// knob, excluded from the Spec. NoRecycle implies no fusion (the
+	// fusers live in worker scratch). Unlike Batch, fusion does not
+	// depend on the op-cache path being on.
+	NoFuse bool
+	// BypassAfter/BypassBelow tune the op-cache probation heuristic:
+	// after BypassAfter calls (0 = the built-in 2^15 default), a cohort
+	// whose replay rate is below BypassBelow (0 = the built-in 60%)
+	// stops paying lookup overhead and runs scalar. Purely an execution
+	// heuristic — the report is byte-identical at any setting.
+	BypassAfter uint64
+	BypassBelow float64
 	// ChunkSize is the number of consecutive devices folded per
 	// aggregation chunk (0 = 64). It must not vary with Jobs — chunk
 	// boundaries define the fold order the determinism guarantee
@@ -224,11 +241,13 @@ type Result struct {
 	DevicesSec float64
 	Cache      power.CacheStats
 	Batch      sim.OpCacheStats
-	// CohortCache/CohortBatch break the cache diagnostics down per
-	// cohort (grid order), so divergence-heavy cohorts are visible.
-	// Nil when the corresponding cache layer is off.
+	Fuse       task.FuseStats
+	// CohortCache/CohortBatch/CohortFuse break the engine diagnostics
+	// down per cohort (grid order), so divergence-heavy cohorts are
+	// visible. Nil when the corresponding layer is off.
 	CohortCache []power.CacheStats
 	CohortBatch []sim.OpCacheStats
+	CohortFuse  []task.FuseStats
 	Workers     int
 }
 
@@ -346,6 +365,12 @@ func (j *Job) simulate(d int, ws *Scratch, cp *ChunkPartial) error {
 			ops.BeginDevice()
 		} else {
 			ws.scr.Ops = nil
+		}
+		if fuse := ws.fuseFor(j, ci); fuse != nil {
+			ws.scr.Fuse = fuse
+			fuse.BeginDevice()
+		} else {
+			ws.scr.Fuse = nil
 		}
 		scr = &ws.scr
 	}

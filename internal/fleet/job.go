@@ -10,6 +10,7 @@ import (
 	"capybara/internal/apps"
 	"capybara/internal/power"
 	"capybara/internal/sim"
+	"capybara/internal/task"
 	"capybara/internal/units"
 )
 
@@ -42,21 +43,40 @@ type Spec struct {
 	ChunkSize int
 }
 
-// Config builds a Config from a received Spec plus local execution
-// knobs. Shard workers use it to reconstruct the coordinator's job with
-// their own parallelism and cache settings.
-func (s Spec) Config(jobs int, noMemo bool, cacheSize int, noRecycle bool, batch int, noVector bool) Config {
+// ExecOptions bundles the execution knobs a process chooses for itself
+// when reconstructing a job from a Spec: parallelism, cache layers, and
+// the batch/fused stepping paths. None of these change a byte of the
+// report — that is exactly why they are not part of Spec.
+type ExecOptions struct {
+	Jobs        int
+	NoMemo      bool
+	CacheSize   int
+	NoRecycle   bool
+	Batch       int
+	NoVector    bool
+	NoFuse      bool
+	BypassAfter uint64
+	BypassBelow float64
+}
+
+// Exec builds a Config from a received Spec plus local execution
+// options. Shard workers use it to reconstruct the coordinator's job
+// with their own parallelism and cache settings.
+func (s Spec) Exec(o ExecOptions) Config {
 	return Config{
-		N:         s.N,
-		Seed:      s.Seed,
-		Scale:     s.Scale,
-		ChunkSize: s.ChunkSize,
-		Jobs:      jobs,
-		NoMemo:    noMemo,
-		CacheSize: cacheSize,
-		NoRecycle: noRecycle,
-		Batch:     batch,
-		NoVector:  noVector,
+		N:           s.N,
+		Seed:        s.Seed,
+		Scale:       s.Scale,
+		ChunkSize:   s.ChunkSize,
+		Jobs:        o.Jobs,
+		NoMemo:      o.NoMemo,
+		CacheSize:   o.CacheSize,
+		NoRecycle:   o.NoRecycle,
+		Batch:       o.Batch,
+		NoVector:    o.NoVector,
+		NoFuse:      o.NoFuse,
+		BypassAfter: o.BypassAfter,
+		BypassBelow: o.BypassBelow,
 	}
 }
 
@@ -174,6 +194,7 @@ type Scratch struct {
 	// layer is disabled for the job.
 	memo []*power.SegmentCache
 	ops  []*sim.OpCache
+	fuse []*task.StepFuser
 }
 
 func (ws *Scratch) memoFor(j *Job, ci int) *power.SegmentCache {
@@ -195,8 +216,19 @@ func (ws *Scratch) opsFor(j *Job, ci int) *sim.OpCache {
 		if j.cfg.NoVector {
 			ws.ops[ci].DisableVector()
 		}
+		ws.ops[ci].SetProbation(j.cfg.BypassAfter, j.cfg.BypassBelow)
 	}
 	return ws.ops[ci]
+}
+
+func (ws *Scratch) fuseFor(j *Job, ci int) *task.StepFuser {
+	if ws.fuse == nil {
+		return nil
+	}
+	if ws.fuse[ci] == nil {
+		ws.fuse[ci] = task.NewStepFuser()
+	}
+	return ws.fuse[ci]
 }
 
 // NewScratch builds a Scratch configured for this job: per-cohort memo
@@ -213,6 +245,9 @@ func (j *Job) NewScratch() *Scratch {
 	if j.cfg.Batch >= 0 {
 		ws.ops = make([]*sim.OpCache, len(j.grid))
 	}
+	if !j.cfg.NoFuse {
+		ws.fuse = make([]*task.StepFuser, len(j.grid))
+	}
 	return ws
 }
 
@@ -225,10 +260,13 @@ type ChunkPartial struct {
 	Chunk   int
 	Cohorts []CohortAccum
 	Cache   power.CacheStats
-	// Memo/Ops are the per-cohort cache-stat deltas for this chunk
-	// (grid order); nil when the corresponding cache layer is off.
+	// Memo/Ops/Fuse are the per-cohort engine-stat deltas for this chunk
+	// (grid order); nil when the corresponding layer is off. Like the
+	// cache stats they are execution diagnostics, excluded from the
+	// canonical report and the spec hash.
 	Memo []power.CacheStats
 	Ops  []sim.OpCacheStats
+	Fuse []task.FuseStats
 }
 
 // RunChunk simulates chunk ci's devices and folds them into a fresh
@@ -265,6 +303,15 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 		for i, c := range ws.ops {
 			if c != nil {
 				opsBefore[i] = c.Stats()
+			}
+		}
+	}
+	var fuseBefore []task.FuseStats
+	if ws.fuse != nil {
+		fuseBefore = make([]task.FuseStats, len(ws.fuse))
+		for i, f := range ws.fuse {
+			if f != nil {
+				fuseBefore[i] = f.Stats()
 			}
 		}
 	}
@@ -314,6 +361,25 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 				Entries:     after.Entries,
 			}
 			cp.Ops[i] = d
+		}
+	}
+	if ws.fuse != nil {
+		cp.Fuse = make([]task.FuseStats, len(ws.fuse))
+		for i, f := range ws.fuse {
+			if f == nil {
+				continue
+			}
+			after, b := f.Stats(), fuseBefore[i]
+			cp.Fuse[i] = task.FuseStats{
+				Steps:    after.Steps - b.Steps,
+				Replays:  after.Replays - b.Replays,
+				Hint:     after.Hint - b.Hint,
+				Records:  after.Records - b.Records,
+				Discards: after.Discards - b.Discards,
+				Bypassed: after.Bypassed - b.Bypassed,
+				Splits:   after.Splits - b.Splits,
+				Merges:   after.Merges - b.Merges,
+			}
 		}
 	}
 	return cp, nil
@@ -370,6 +436,15 @@ func (j *Job) Fold(partials []*ChunkPartial) (*Result, error) {
 				o.Entries = 0
 				res.CohortBatch[i].Add(o)
 				res.Batch.Add(o)
+			}
+		}
+		if len(cp.Fuse) == len(j.grid) {
+			if res.CohortFuse == nil {
+				res.CohortFuse = make([]task.FuseStats, len(j.grid))
+			}
+			for i, f := range cp.Fuse {
+				res.CohortFuse[i].Add(f)
+				res.Fuse.Add(f)
 			}
 		}
 	}

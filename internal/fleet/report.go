@@ -229,6 +229,13 @@ func (r *Result) Diagnostics() string {
 	} else if r.Config.Batch < 0 {
 		b = append(b, "batch: disabled\n"...)
 	}
+	if f := r.Fuse; f.Steps > 0 {
+		b = fmt.Appendf(b, "fuse: %d steps, %.1f%% fused (%.1f%% chained), %d records, %d discards, %d splits, %d merges, %d bypassed\n",
+			f.Steps, 100*f.FusedRate(), 100*f.HintRate(), f.Records, f.Discards,
+			f.Splits, f.Merges, f.Bypassed)
+	} else if r.Config.NoFuse {
+		b = append(b, "fuse: disabled\n"...)
+	}
 	b = r.appendCohortDiagnostics(b)
 	return string(b)
 }
@@ -253,6 +260,15 @@ func (r *Result) appendCohortDiagnostics(b []byte) []byte {
 					100*s.HitRate(), 100*s.VectorRate(), s.MeanWidth(), s.Splits, s.Merges)
 				if s.Bypassed > 0 {
 					line = fmt.Appendf(line, ", %d bypassed", s.Bypassed)
+				}
+			}
+		}
+		if i < len(r.CohortFuse) {
+			if f := r.CohortFuse[i]; f.Steps > 0 {
+				line = fmt.Appendf(line, " | fuse %5.1f%% fused (%.0f%% chained), %d records, %d discards, %d splits, %d merges",
+					100*f.FusedRate(), 100*f.HintRate(), f.Records, f.Discards, f.Splits, f.Merges)
+				if f.Bypassed > 0 {
+					line = fmt.Appendf(line, ", %d bypassed", f.Bypassed)
 				}
 			}
 		}

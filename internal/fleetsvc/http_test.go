@@ -111,6 +111,48 @@ func TestHTTPAPI(t *testing.T) {
 	}
 }
 
+// TestHTTPCohortEngineStats: the ?cohorts=1 status view carries each
+// cohort's engine-stat sidecars — memo cache, batch replay, and fused
+// stepping — folded over completed chunks, so per-cohort execution
+// diagnostics are visible through the job API without the report.
+func TestHTTPCohortEngineStats(t *testing.T) {
+	svc, srv := testServer(t, ServiceConfig{})
+	done, err := svc.Submit(fleet.Spec{N: 16, Seed: 2, Scale: 0.02, ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, svc, done.ID); st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/api/v1/jobs/" + done.ID + "?cohorts=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Cohorts []CohortProgress `json:"cohorts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cohorts) == 0 {
+		t.Fatal("no cohorts in status view")
+	}
+	fusedSteps := uint64(0)
+	for _, c := range doc.Cohorts {
+		// All three engine layers are on by default, so every touched
+		// cohort must carry all three sidecars.
+		if c.Memo == nil || c.Batch == nil || c.Fuse == nil {
+			t.Fatalf("cohort %s missing engine stats: memo=%v batch=%v fuse=%v",
+				c.Cohort, c.Memo != nil, c.Batch != nil, c.Fuse != nil)
+		}
+		fusedSteps += c.Fuse.Steps
+	}
+	if fusedSteps == 0 {
+		t.Fatal("no cohort reported fused-stepping attempts — sidecar is not being folded")
+	}
+}
+
 // TestHTTPSubmitToReportRoundTrip drives a job purely over HTTP —
 // submit, poll, fetch both report formats — and checks the CSV equals
 // the in-process baseline.
@@ -249,7 +291,7 @@ func TestHTTPStreamVanishedJobEndsTerminal(t *testing.T) {
 	// in queued state forever: the stream cannot race to a real terminal
 	// event before the test makes the job vanish.
 	spec := fleet.Spec{N: 16, Seed: 5, Scale: 0.02, ChunkSize: 8}
-	fj, err := fleet.NewJob(spec.Config(1, false, 0, false, 0, false))
+	fj, err := fleet.NewJob(spec.Exec(fleet.ExecOptions{Jobs: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,9 @@ import (
 	"sync"
 
 	"capybara/internal/fleet"
+	"capybara/internal/power"
+	"capybara/internal/sim"
+	"capybara/internal/task"
 )
 
 // Service is the fleet-as-a-service layer: a queue of fleet jobs whose
@@ -48,6 +51,12 @@ type ServiceConfig struct {
 	// NoVector disables the batch path's lockstep cursor (fleet
 	// Config.NoVector).
 	NoVector bool
+	// NoFuse disables fused task-engine stepping (fleet Config.NoFuse).
+	NoFuse bool
+	// BypassAfter/BypassBelow tune the op-cache probation heuristic
+	// (fleet Config.BypassAfter/BypassBelow; 0 = defaults).
+	BypassAfter uint64
+	BypassBelow float64
 }
 
 // Job states. queued and running survive a daemon restart (the
@@ -95,12 +104,19 @@ type JobStatus struct {
 
 // CohortProgress is one cohort's running partial fold — served while a
 // job runs, merged in chunk-index order over completed chunks only, so
-// a snapshot at a given done-count is deterministic.
+// a snapshot at a given done-count is deterministic. Memo, Batch, and
+// Fuse carry the cohort's engine-stat sidecars (memo cache, device-op
+// replay, fused stepping) folded over the same chunks; each is nil when
+// that layer was off for the run. They are execution diagnostics — they
+// never appear in the canonical report.
 type CohortProgress struct {
-	Cohort   string  `json:"cohort"`
-	Devices  int     `json:"devices"`
-	Events   int     `json:"events"`
-	Accuracy float64 `json:"accuracy_mean"`
+	Cohort   string            `json:"cohort"`
+	Devices  int               `json:"devices"`
+	Events   int               `json:"events"`
+	Accuracy float64           `json:"accuracy_mean"`
+	Memo     *power.CacheStats `json:"memo,omitempty"`
+	Batch    *sim.OpCacheStats `json:"batch,omitempty"`
+	Fuse     *task.FuseStats   `json:"fuse,omitempty"`
 }
 
 // jobRecord is the journaled form of a job: everything a successor
@@ -300,7 +316,21 @@ func idNumber(id string) int {
 }
 
 func (s *Service) engineConfig(si SpecInfo) fleet.Config {
-	return si.spec().Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch, s.cfg.NoVector)
+	return si.spec().Exec(s.execOptions())
+}
+
+func (s *Service) execOptions() fleet.ExecOptions {
+	return fleet.ExecOptions{
+		Jobs:        s.cfg.Jobs,
+		NoMemo:      s.cfg.NoMemo,
+		CacheSize:   s.cfg.CacheSize,
+		NoRecycle:   s.cfg.NoRecycle,
+		Batch:       s.cfg.Batch,
+		NoVector:    s.cfg.NoVector,
+		NoFuse:      s.cfg.NoFuse,
+		BypassAfter: s.cfg.BypassAfter,
+		BypassBelow: s.cfg.BypassBelow,
+	}
 }
 
 // track registers a job in the in-memory table. Callers hold s.mu or
@@ -326,7 +356,7 @@ func (s *Service) track(id string, fj *fleet.Job, spec SpecInfo) *job {
 // status is the freshly queued job (it may already be running by the
 // time the caller reads the snapshot).
 func (s *Service) Submit(spec fleet.Spec) (JobStatus, error) {
-	fj, err := fleet.NewJob(spec.Config(s.cfg.Jobs, s.cfg.NoMemo, s.cfg.CacheSize, s.cfg.NoRecycle, s.cfg.Batch, s.cfg.NoVector))
+	fj, err := fleet.NewJob(spec.Exec(s.execOptions()))
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -507,6 +537,9 @@ func (s *Service) Cohorts(id string) ([]CohortProgress, error) {
 	}
 	grid := j.fjob.Cohorts()
 	accum := make([]fleet.CohortAccum, len(grid))
+	var memo []power.CacheStats
+	var batch []sim.OpCacheStats
+	var fuse []task.FuseStats
 	j.mu.Lock()
 	for _, cp := range j.partials {
 		if cp == nil {
@@ -521,6 +554,34 @@ func (s *Service) Cohorts(id string) ([]CohortProgress, error) {
 				return nil, err
 			}
 		}
+		// Engine-stat sidecars fold like the fleet's own Fold: per-cohort
+		// deltas sum; snapshot-valued Entries fields don't.
+		if len(cp.Memo) == len(grid) {
+			if memo == nil {
+				memo = make([]power.CacheStats, len(grid))
+			}
+			for i, m := range cp.Memo {
+				m.Entries = 0
+				memo[i].Add(m)
+			}
+		}
+		if len(cp.Ops) == len(grid) {
+			if batch == nil {
+				batch = make([]sim.OpCacheStats, len(grid))
+			}
+			for i, o := range cp.Ops {
+				o.Entries = 0
+				batch[i].Add(o)
+			}
+		}
+		if len(cp.Fuse) == len(grid) {
+			if fuse == nil {
+				fuse = make([]task.FuseStats, len(grid))
+			}
+			for i, f := range cp.Fuse {
+				fuse[i].Add(f)
+			}
+		}
 	}
 	j.mu.Unlock()
 	var out []CohortProgress
@@ -528,12 +589,25 @@ func (s *Service) Cohorts(id string) ([]CohortProgress, error) {
 		if accum[i].Devices == 0 {
 			continue
 		}
-		out = append(out, CohortProgress{
+		p := CohortProgress{
 			Cohort:   grid[i].String(),
 			Devices:  accum[i].Devices,
 			Events:   accum[i].Events,
 			Accuracy: accum[i].Accuracy.Mean,
-		})
+		}
+		if memo != nil {
+			m := memo[i]
+			p.Memo = &m
+		}
+		if batch != nil {
+			b := batch[i]
+			p.Batch = &b
+		}
+		if fuse != nil {
+			f := fuse[i]
+			p.Fuse = &f
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

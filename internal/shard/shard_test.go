@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"capybara/internal/fleet"
+	"capybara/internal/task"
 )
 
 // testConfig is small enough for unit tests but decomposes into 12
@@ -109,6 +110,41 @@ func TestShardByteIdentical(t *testing.T) {
 	}
 }
 
+// TestShardFoldsEngineStatSidecars: worker partials carry the
+// per-cohort engine-stat sidecars (memo, batch, fused stepping) over
+// the wire, and the coordinator folds them into the Result's
+// diagnostics exactly like the in-process engine — so a sharded
+// -connect run loses no cohort visibility. The sidecars must stay out
+// of the canonical report (TestShardByteIdentical pins that side).
+func TestShardFoldsEngineStatSidecars(t *testing.T) {
+	cfg := testConfig()
+	res, errs := serveWith(t, cfg, Options{},
+		worker(2, WorkerOptions{}),
+		worker(2, WorkerOptions{}),
+	)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if res.CohortBatch == nil {
+		t.Fatal("coordinator folded no per-cohort batch stats from worker partials")
+	}
+	if res.CohortFuse == nil {
+		t.Fatal("coordinator folded no per-cohort fuse stats from worker partials")
+	}
+	var sum task.FuseStats
+	for _, f := range res.CohortFuse {
+		sum.Add(f)
+	}
+	if sum != res.Fuse {
+		t.Fatalf("aggregate fuse stats %+v != sum of per-cohort stats %+v", res.Fuse, sum)
+	}
+	if res.Fuse.Steps == 0 {
+		t.Fatal("fused stepping never passed its gates — sidecar fold test is vacuous")
+	}
+}
+
 // TestShardWorkerKilledMidRun kills one worker after its first result
 // (abrupt close while holding further leases) and asserts the re-leased
 // run still completes with a report byte-identical to the unfailed run.
@@ -171,7 +207,7 @@ func rawDial(t *testing.T, addr string, capacity int) (*frameConn, *frame) {
 	if err != nil || jobFrame.Type != msgJob {
 		t.Fatalf("handshake read: %v (type %v)", err, jobFrame.Type)
 	}
-	job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0, false))
+	job, err := fleet.NewJob(jobFrame.Job.Spec.Exec(fleet.ExecOptions{Jobs: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +404,7 @@ func chunk0Refuser(addr string) error {
 			fc.close()
 			return nil
 		}
-		job, err := fleet.NewJob(jobFrame.Job.Spec.Config(1, false, 0, false, 0, false))
+		job, err := fleet.NewJob(jobFrame.Job.Spec.Exec(fleet.ExecOptions{Jobs: 1}))
 		if err != nil {
 			fc.close()
 			return err

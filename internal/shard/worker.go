@@ -30,6 +30,13 @@ type WorkerOptions struct {
 	// NoVector disables the batch path's lockstep cursor on this
 	// worker (fleet Config.NoVector).
 	NoVector bool
+	// NoFuse disables fused task-engine stepping on this worker (fleet
+	// Config.NoFuse).
+	NoFuse bool
+	// BypassAfter/BypassBelow tune this worker's op-cache probation
+	// heuristic (fleet Config.BypassAfter/BypassBelow; 0 = defaults).
+	BypassAfter uint64
+	BypassBelow float64
 	// DialRetry keeps retrying the initial connection for this long
 	// (0 = fail on the first refused dial). It lets workers start
 	// before the coordinator is listening — the usual two-terminal and
@@ -78,7 +85,17 @@ func Work(ctx context.Context, addr string, jobs int, opts WorkerOptions) error 
 	if f.Job.Proto != protoVersion {
 		return fmt.Errorf("shard: protocol version mismatch: coordinator %d, worker %d", f.Job.Proto, protoVersion)
 	}
-	job, err := fleet.NewJob(f.Job.Spec.Config(jobs, opts.NoMemo, opts.CacheSize, opts.NoRecycle, opts.Batch, opts.NoVector))
+	job, err := fleet.NewJob(f.Job.Spec.Exec(fleet.ExecOptions{
+		Jobs:        jobs,
+		NoMemo:      opts.NoMemo,
+		CacheSize:   opts.CacheSize,
+		NoRecycle:   opts.NoRecycle,
+		Batch:       opts.Batch,
+		NoVector:    opts.NoVector,
+		NoFuse:      opts.NoFuse,
+		BypassAfter: opts.BypassAfter,
+		BypassBelow: opts.BypassBelow,
+	}))
 	if err != nil {
 		fc.write(&frame{Type: msgError, Error: err.Error()})
 		return fmt.Errorf("shard: bad job spec: %w", err)

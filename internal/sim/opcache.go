@@ -232,6 +232,11 @@ type OpCache struct {
 	// stream; bypassing never changes a result, only who computes it.
 	decided, bypass bool
 
+	// probation/minHitRate parameterize the bypass decision; defaults
+	// are opProbation/opMinHitRate (see SetProbation).
+	probation  uint64
+	minHitRate float64
+
 	// last is the young-generation index of the entry the previous
 	// cached call used (replayed or recorded), or -1. It anchors the
 	// next-entry chain; deliberately NOT reset at device seams, so a
@@ -257,12 +262,14 @@ func NewOpCache(max, width int) *OpCache {
 		width = 0
 	}
 	return &OpCache{
-		max:   max,
-		width: width,
-		cur:   opGen{idx: make(map[string]int32)},
-		prev:  opGen{idx: make(map[string]int32)},
-		cfgs:  make(map[string]uint32),
-		last:  -1,
+		max:        max,
+		width:      width,
+		cur:        opGen{idx: make(map[string]int32)},
+		prev:       opGen{idx: make(map[string]int32)},
+		cfgs:       make(map[string]uint32),
+		last:       -1,
+		probation:  opProbation,
+		minHitRate: opMinHitRate,
 	}
 }
 
@@ -305,12 +312,34 @@ func (c *OpCache) noteSolve(recorded bool) {
 
 func (c *OpCache) noteUncacheable() { c.stats.Uncacheable++ }
 
-// Probation policy: how many cacheable calls the cache observes before
-// deciding whether replay pays here, and the hit rate it must have seen.
+// Default probation policy: how many cacheable calls the cache observes
+// before deciding whether replay pays here, and the hit rate it must
+// have seen. SetProbation overrides both.
 const (
 	opProbation  = 1 << 15
 	opMinHitRate = 0.6
 )
+
+// SetProbation overrides the adaptive-bypass probation window (calls
+// observed before deciding) and the minimum hit rate that keeps the
+// cache engaged. Non-positive arguments keep the corresponding default.
+// Bypass decisions only move work between the cached and direct solve
+// paths — results are byte-identical at any setting — so the knob is an
+// execution option, excluded from fleet spec hashes. Low-scale runs
+// raise the window (or lower the rate floor) so cohorts that converge
+// late are not written off during warm-up.
+func (c *OpCache) SetProbation(calls uint64, minRate float64) {
+	if calls > 0 {
+		c.probation = calls
+	} else {
+		c.probation = opProbation
+	}
+	if minRate > 0 {
+		c.minHitRate = minRate
+	} else {
+		c.minHitRate = opMinHitRate
+	}
+}
 
 // engaged reports whether the cached path should run at all. During
 // probation it always does; afterwards, a cohort whose hit rate never
@@ -324,9 +353,9 @@ func (c *OpCache) engaged() bool {
 		return false
 	}
 	if !c.decided {
-		if t := c.stats.Hits + c.stats.Misses; t >= opProbation {
+		if t := c.stats.Hits + c.stats.Misses; t >= c.probation {
 			c.decided = true
-			c.bypass = c.width != 1 && c.stats.HitRate() < opMinHitRate
+			c.bypass = c.width != 1 && c.stats.HitRate() < c.minHitRate
 		}
 	}
 	return true
@@ -591,6 +620,7 @@ func (d *Device) applyState(e *opEntry, g *opGen) {
 // exactly once, at the span start.
 func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) (units.Seconds, bool) {
 	powered := d.powerAt(d.now) > 0
+	d.Tape.sourced()
 	if n, ao := c.vectorNext(d); n >= 0 {
 		e := &c.cur.ents[n]
 		key := c.cur.keys[e.koff : e.koff+e.klen]
@@ -606,6 +636,7 @@ func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) 
 			d.applyState(e, &c.cur)
 			d.Stats.TimeOn += e.dur
 			d.Stats.EnergyDrawn += units.Energy(e.energy)
+			d.Tape.add(e.dur, e.energy, TapeTimeOn|TapeDrawn)
 			if !e.flag {
 				d.Stats.Brownouts++
 			}
@@ -629,6 +660,7 @@ func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) 
 			d.applyState(e, &c.cur)
 			d.Stats.TimeOn += e.dur
 			d.Stats.EnergyDrawn += units.Energy(e.energy)
+			d.Tape.add(e.dur, e.energy, TapeTimeOn|TapeDrawn)
 			if !e.flag {
 				d.Stats.Brownouts++
 			}
@@ -706,6 +738,7 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 				if e.energy != 0 {
 					d.Stats.EnergyIntoStore += units.Energy(e.energy)
 				}
+				d.tapeChargeReplay(e)
 				return e.dur, true
 			}
 		}
@@ -737,6 +770,7 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 			if e.energy != 0 {
 				d.Stats.EnergyIntoStore += units.Energy(e.energy)
 			}
+			d.tapeChargeReplay(e)
 			return e.dur, true
 		}
 	}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+
+	"capybara/internal/harvest"
+	"capybara/internal/units"
+)
+
+// Step-effect tape: the recording substrate for fused task-engine
+// stepping (task.StepFuser; DESIGN.md §10, stage 3).
+//
+// While a tape is attached (Device.Tape), every mutation the simulator
+// makes to the report-visible clock/stat accumulators — d.now and the
+// Stats time/energy counters — is mirrored onto the tape as one
+// TapeEntry per add, in execution order. A follower device that is
+// bit-identical in every input the step reads can then replay the step
+// by applying the entries to its own accumulators: `now += Dur` plus
+// the selected counter adds, in the same order, with the same values,
+// is exactly the float-add sequence its own scalar execution would have
+// performed. (Adds to *different* accumulators commute trivially —
+// each entry touches one time counter and at most one energy counter —
+// and adds to the *same* accumulator keep their recorded order.)
+//
+// The tape also collects the evidence the replayer needs to decide that
+// a recorded step is valid at a different absolute clock:
+//
+//   - Sourced: whether any operation sampled the harvester. Continuous
+//     devices never do; their steps replay with no source evidence.
+//   - NeedForever: a ChargeTo actually entered its charge loop. Such a
+//     step is recordable only under a source with an unbounded
+//     constancy horizon (harvest.Forever) and power flowing — the same
+//     cacheability rule the OpCache uses — because a finite horizon
+//     can clip the charge loop's segment lengths at a distance that
+//     depends on the absolute clock.
+//   - MinSlack: the tightest deadline margin any ChargeTo had
+//     (maxWait − elapsed). Deadlines arrive as horizon-relative
+//     windows, so a follower shifted δ later than the leader runs the
+//     same calls with maxWait shrunk by δ; the recorded completions
+//     still fit iff δ < MinSlack.
+//   - Bad: the step hit an operation whose outcome is not a pure
+//     function of the recorded inputs (time-varying-source charge,
+//     deadline-bound charge failure); the recording is discarded.
+type TapeEntry struct {
+	// Dur advances the clock and the selected time counter.
+	Dur units.Seconds
+	// Energy is the value added to the selected energy counter (0 when
+	// Sel selects none).
+	Energy float64
+	// Sel packs the counter selectors: bits 0-1 the time counter, bits
+	// 2-3 the energy counter.
+	Sel uint8
+}
+
+// Sel encodings for TapeEntry.
+const (
+	TapeTimeOn uint8 = iota
+	TapeTimeCharging
+	TapeTimeOff
+)
+
+const (
+	// TapeDrawn/TapeInto select the energy accumulator (bits 2-3);
+	// zero in that field selects none.
+	TapeDrawn uint8 = 1 << 2
+	TapeInto  uint8 = 2 << 2
+)
+
+// StepTape accumulates one engine step's recorded effects.
+type StepTape struct {
+	Ents []TapeEntry
+	// Sourced reports that some operation sampled the harvester.
+	Sourced bool
+	// NeedForever reports that a ChargeTo entered its charge loop, so
+	// replay requires an unbounded source-constancy horizon.
+	NeedForever bool
+	// Bad marks the step unrecordable.
+	Bad bool
+	// MinSlack is the tightest ChargeTo deadline margin seen
+	// (maxWait − elapsed), +Inf when every operation was deadline-free.
+	MinSlack float64
+}
+
+// Reset clears the tape for a new step, keeping backing storage.
+func (t *StepTape) Reset() {
+	t.Ents = t.Ents[:0]
+	t.Sourced = false
+	t.NeedForever = false
+	t.Bad = false
+	t.MinSlack = math.Inf(1)
+}
+
+func (t *StepTape) add(dur units.Seconds, energy float64, sel uint8) {
+	if t == nil {
+		return
+	}
+	t.Ents = append(t.Ents, TapeEntry{Dur: dur, Energy: energy, Sel: sel})
+}
+
+// sourced marks that an operation sampled the harvester.
+func (t *StepTape) sourced() {
+	if t != nil {
+		t.Sourced = true
+	}
+}
+
+// ApplyTapeEntry applies one recorded effect to the device: the same
+// single adds, with the same values, the recorded execution performed.
+func (d *Device) ApplyTapeEntry(e TapeEntry) {
+	d.now += e.Dur
+	switch e.Sel & 3 {
+	case TapeTimeOn:
+		d.Stats.TimeOn += e.Dur
+	case TapeTimeCharging:
+		d.Stats.TimeCharging += e.Dur
+	default:
+		d.Stats.TimeOff += e.Dur
+	}
+	switch e.Sel &^ 3 {
+	case TapeDrawn:
+		d.Stats.EnergyDrawn += units.Energy(e.Energy)
+	case TapeInto:
+		d.Stats.EnergyIntoStore += units.Energy(e.Energy)
+	}
+}
+
+// tapeChargeReplay mirrors a chargeFast cache replay's accumulator adds
+// onto the tape: one entry, with the counter selectors the replay used.
+func (d *Device) tapeChargeReplay(e *opEntry) {
+	if d.Tape == nil {
+		return
+	}
+	sel := TapeTimeOff
+	if e.flag {
+		sel = TapeTimeCharging
+	}
+	if e.energy != 0 {
+		sel |= TapeInto
+	}
+	d.Tape.add(e.dur, e.energy, sel)
+}
+
+// tapeCharge validates and accounts a ChargeTo call against the
+// attached tape. Called from ChargeTo for non-continuous devices before
+// dispatch; the per-iteration effect entries are added by the charge
+// loop (or the cache replay path) itself.
+func (d *Device) tapeCharge(target units.Voltage, maxWait units.Seconds) {
+	t := d.Tape
+	if t == nil || t.Bad {
+		return
+	}
+	if d.Store().Voltage() >= target || maxWait <= 0 {
+		// Mirrors the charge loop's first-iteration exits: no time
+		// passes, nothing to validate.
+		return
+	}
+	t.Sourced = true
+	if d.powerAt(d.now) <= 0 || harvest.NextChange(d.Sys.Source, d.now) != harvest.Forever {
+		// The charge trajectory depends on where the clock sits in the
+		// source's pattern (or on dead air): unrecordable.
+		t.Bad = true
+		return
+	}
+	t.NeedForever = true
+}
+
+// tapeChargeDone records a completed ChargeTo's deadline margin; a
+// deadline-bound failure poisons the recording (its outcome is a
+// function of maxWait, which shifts with the replayer's clock).
+func (d *Device) tapeChargeDone(maxWait, elapsed units.Seconds, ok bool) {
+	t := d.Tape
+	if t == nil || t.Bad || elapsed == 0 {
+		return
+	}
+	if !ok {
+		t.Bad = true
+		return
+	}
+	if slack := float64(maxWait - elapsed); slack < t.MinSlack {
+		t.MinSlack = slack
+	}
+}

@@ -1,0 +1,949 @@
+package task
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"capybara/internal/harvest"
+	"capybara/internal/sim"
+	"capybara/internal/units"
+)
+
+// Fused task-engine stepping (batch-lockstep stage 3; DESIGN.md §10).
+//
+// The OpCache (internal/sim) collapses the *operations* of lockstep
+// devices — Drain and ChargeTo calls — but between every pair of ops
+// each device still runs its full task-engine iteration: power-manager
+// preparation, task dispatch, context bookkeeping, environment queries,
+// and the transition commit. The StepFuser hoists that loop: the first
+// device through a step executes it scalar while the engine records the
+// step's complete effect (a sim.StepTape of clock/stat adds plus every
+// input the step read); every later device whose pre-step state is
+// bit-identical replays the recorded effect without running the power
+// manager or the task body at all.
+//
+// Replay is sound only when the recorded step's behavior is a pure
+// function of inputs the replayer can verify at its own (shifted)
+// clock. The evidence discipline mirrors the OpCache's:
+//
+//   - Fusion-set membership: the template key is (task name, alive bit,
+//     reservoir.Array mask + full electrical state bits). A chain
+//     cursor (the fused analogue of the OpCache's vectorNext) predicts
+//     the next template and verifies it with a live Array.MatchState;
+//     any mismatch falls back to the keyed lookup and then to scalar.
+//   - Clock translation: the solvers advance state by source-driven
+//     integration whose keys contain no clock value (the OpCache
+//     precedent), so a step translates from record clock t0 to replay
+//     clock t0' when the source evidence matches: identical PowerAt and
+//     VoltageAt bits at t0', a constancy horizon covering the step span
+//     (Forever when a charge loop ran — chargeFast's cacheability
+//     rule), and an identical units.MinAdvance ULP regime across the
+//     span (the integrators floor their segment lengths on it).
+//   - Deadlines: every deadline the engine or power manager checks
+//     derives from the run horizon, so requiring the replayed step to
+//     end strictly before the replayer's horizon keeps every check on
+//     the recorded branch; recordings whose charges grazed the deadline
+//     (zero slack) are discarded because the deadline clipped — or sat
+//     on the edge of clipping — the leader's trajectory.
+//   - Environment: the step must fall in a quiet range of the device's
+//     event schedule — both the leader's at record time and the
+//     follower's own at replay — so every schedule query inside the
+//     step returns not-found regardless of the absolute clock. Tasks
+//     that observe the absolute clock directly (Ctx.Now) are never
+//     recorded.
+//   - NV reads: every word, blob, and channel read the body performed
+//     against committed state is captured and re-verified bit-for-bit
+//     against the follower's store. Steps that stage any write are not
+//     recorded (the commit machinery's effects stay scalar); the only
+//     NV effect a recorded step may have is the engine's own transition
+//     pointer write, which replay re-performs.
+//   - Samples: report-visible sample instants are matched to tape
+//     boundaries at record time and re-synthesized from the follower's
+//     own boundary clocks, so the recorder sees exactly the values the
+//     follower's scalar execution would have appended.
+//   - RNG: the recorded draw count fast-forwards the follower's private
+//     stream so its position stays identical to scalar execution.
+//     (Fleet task bodies draw nothing; bodies whose control flow
+//     depends on drawn values are outside the fusion contract.)
+//
+// Like the OpCache and the powerAt memo, fusion disables itself — per
+// step, not per run — whenever a Trace, EventLog, or Observer is
+// attached: those consumers see per-operation detail that replay
+// skips.
+
+// Tuning constants. The fuser keeps its own adaptive-bypass thresholds
+// (distinct from the OpCache's, which are per-op and knob-controlled):
+// a cohort whose steps keep missing — chaotic state, staging tasks,
+// time-varying sources — stops paying the recording tax after the
+// probation window.
+const (
+	fuseProbation    = 1 << 13
+	fuseMinFusedRate = 0.35
+
+	fuseMaxTemplates = 4096
+	fuseMaxEnts      = 1024
+	fuseMaxWords     = 8
+	fuseMaxBlobs     = 2
+	fuseMaxBlobBytes = 512
+	fuseMaxChans     = 4
+	fuseMaxSamples   = 64
+)
+
+// QuietSchedule is the slice of the environment's event schedule the
+// fuser needs: proof that a time range contains no observable event.
+// env.Schedule implements it.
+type QuietSchedule interface {
+	QuietRange(t0, t1 units.Seconds) bool
+}
+
+// QuietBounder is the optional extension of QuietSchedule the
+// fixed-point spin uses: QuietBound(t0) is the exclusive supremum of
+// end instants t1 for which QuietRange(t0, t1) holds (+Inf when the
+// schedule is quiet forever after t0). env.Schedule implements it; a
+// schedule without it simply limits fusion to per-step replay.
+type QuietBounder interface {
+	QuietBound(t0 units.Seconds) units.Seconds
+}
+
+// SampleRecorder is the slice of the metrics recorder the fuser needs:
+// appending follower sample instants and verifying that a recorded
+// step produced no report. *metrics.Recorder implements it.
+type SampleRecorder interface {
+	RecordSample(t units.Seconds)
+	SampleCount() int
+	SampleAt(i int) units.Seconds
+	ReportCount() int
+}
+
+// CounterSource is implemented by PowerManagers that expose their
+// bookkeeping counters for fused replay (core.Runtime does). A manager
+// without it is simply not fusible.
+type CounterSource interface {
+	FuseCounters() (reconfigs, precharges *int)
+}
+
+// FuseStats counts fused-stepping outcomes. Counters are cumulative
+// and exported for the fleet's execution-stat sidecars.
+type FuseStats struct {
+	// Steps counts fusion-eligible engine steps (gates passed).
+	Steps uint64
+	// Replays counts steps applied from a template; Hint the subset
+	// resolved by the chain cursor without a keyed lookup.
+	Replays uint64
+	Hint    uint64
+	// Records counts templates recorded; Discards recordings abandoned
+	// because the evidence could not certify replay soundness.
+	Records  uint64
+	Discards uint64
+	// Bypassed counts steps skipped after adaptive bypass tripped.
+	Bypassed uint64
+	// Splits counts fused→scalar streak breaks; Merges the reverse.
+	Splits uint64
+	Merges uint64
+}
+
+// FusedRate returns the fraction of eligible steps served by replay.
+func (s FuseStats) FusedRate() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Replays) / float64(s.Steps)
+}
+
+// HintRate returns the fraction of replays resolved by the chain
+// cursor alone (no keyed lookup).
+func (s FuseStats) HintRate() float64 {
+	if s.Replays == 0 {
+		return 0
+	}
+	return float64(s.Hint) / float64(s.Replays)
+}
+
+// Add accumulates o into s.
+func (s *FuseStats) Add(o FuseStats) {
+	s.Steps += o.Steps
+	s.Replays += o.Replays
+	s.Hint += o.Hint
+	s.Records += o.Records
+	s.Discards += o.Discards
+	s.Bypassed += o.Bypassed
+	s.Splits += o.Splits
+	s.Merges += o.Merges
+}
+
+// wordRead, blobRead, and chanRead are one recorded NV read each: the
+// key(s) and the exact result the body observed.
+type wordRead struct {
+	k  string
+	v  uint64
+	ok bool
+}
+
+type blobRead struct {
+	k  string
+	b  []byte
+	ok bool
+}
+
+type chanRead struct {
+	field string
+	srcs  []string
+	v     uint64
+	found bool
+}
+
+// fuseTemplate is one recorded engine step, keyed by its pre-step
+// device state.
+type fuseTemplate struct {
+	name     string
+	nextTask string
+	alive    byte
+
+	preMask  uint64
+	preVals  []float64
+	postMask uint64
+	postVals []float64
+
+	// ents is the step's effect tape; prepEnts the boundary index where
+	// PowerManager.Prepare finished (the task-profile window starts
+	// there, exactly like the scalar engine's snapshot point).
+	ents     []sim.TapeEntry
+	prepEnts int32
+
+	// succ is the chain cursor's predicted successor template (-1 when
+	// unknown).
+	succ int32
+
+	// samples holds the tape-boundary index of every sample the step
+	// recorded, in order (boundary k is the clock after k entries).
+	samples []int32
+
+	words []wordRead
+	blobs []blobRead
+	chans []chanRead
+
+	draws uint32
+
+	dBoots, dBrown, dReverts  int32
+	dReconfigs, dPrecharges   int32
+	dLeak, dShare             units.Energy
+
+	// Source evidence, valid when sourced: output bits at the step
+	// start, whether a charge loop ran (needForever), and the
+	// MinAdvance ULP regime spanning the step.
+	sourced     bool
+	needForever bool
+	pBits       uint64
+	vBits       uint64
+	ulp         float64
+
+	// selfFix marks a bit-exact fixed point: an alive self-transition
+	// whose post-step electrical state equals its pre-step state and
+	// that drew no RNG values. Such a step's successor is itself, so
+	// replay can spin it for a whole verified span (see fuseReplay).
+	selfFix bool
+}
+
+// recBlob is a recording-time blob read; the bytes live in the shared
+// blobBuf (offsets, not aliases — appends may reallocate it).
+type recBlob struct {
+	k      string
+	off, n int32
+	ok     bool
+}
+
+// stepRecording is the engine's reusable recording scratch for the
+// step currently executing scalar under an armed fuser.
+type stepRecording struct {
+	tape sim.StepTape
+	dead bool
+
+	name  string
+	alive byte
+
+	preVals []float64
+	preMask uint64
+
+	t0       units.Seconds
+	prepEnts int32
+
+	samples0 int
+	reports0 int
+	writes0  int
+	draws0   uint64
+
+	boots0, brown0 int
+	leak0, share0  units.Energy
+	rev0           int
+	reconf0        int
+	prechg0        int
+	rcPtr, pcPtr   *int
+
+	words   []wordRead
+	blobs   []recBlob
+	blobBuf []byte
+	chans   []chanRead
+}
+
+func (r *stepRecording) noteWord(k string, v uint64, ok bool) {
+	if r.dead {
+		return
+	}
+	for i := range r.words {
+		if r.words[i].k == k {
+			return // same committed store, same result
+		}
+	}
+	if len(r.words) >= fuseMaxWords {
+		r.dead = true
+		return
+	}
+	r.words = append(r.words, wordRead{k, v, ok})
+}
+
+func (r *stepRecording) noteBlob(k string, b []byte, ok bool) {
+	if r.dead {
+		return
+	}
+	for i := range r.blobs {
+		if r.blobs[i].k == k {
+			return
+		}
+	}
+	if len(r.blobs) >= fuseMaxBlobs || len(r.blobBuf)+len(b) > fuseMaxBlobBytes {
+		r.dead = true
+		return
+	}
+	off := int32(len(r.blobBuf))
+	r.blobBuf = append(r.blobBuf, b...)
+	r.blobs = append(r.blobs, recBlob{k, off, int32(len(b)), ok})
+}
+
+func (r *stepRecording) noteChan(field string, srcs []string, v uint64, found bool) {
+	if r.dead {
+		return
+	}
+outer:
+	for i := range r.chans {
+		c := &r.chans[i]
+		if c.field != field || len(c.srcs) != len(srcs) {
+			continue
+		}
+		for j := range srcs {
+			if c.srcs[j] != srcs[j] {
+				continue outer
+			}
+		}
+		return
+	}
+	if len(r.chans) >= fuseMaxChans {
+		r.dead = true
+		return
+	}
+	r.chans = append(r.chans, chanRead{field, srcs, v, found})
+}
+
+// matchSamples maps every sample the step appended onto a tape-boundary
+// index. Boundary clocks are recomputed from t0 by the same sequential
+// adds the device performed, so a sample the body took at any Now()
+// instant matches its boundary bit-for-bit; anything else (a synthetic
+// or offset sample time) fails the recording.
+func (r *stepRecording) matchSamples(rec SampleRecorder) ([]int32, bool) {
+	sc := rec.SampleCount()
+	n := sc - r.samples0
+	if n == 0 {
+		return nil, true
+	}
+	if n > fuseMaxSamples {
+		return nil, false
+	}
+	out := make([]int32, 0, n)
+	b := r.t0
+	k := int32(0)
+	for si := r.samples0; si < sc; {
+		v := rec.SampleAt(si)
+		if math.Float64bits(float64(v)) == math.Float64bits(float64(b)) {
+			out = append(out, k)
+			si++
+			continue
+		}
+		if int(k) >= len(r.tape.Ents) {
+			return nil, false
+		}
+		b += r.tape.Ents[k].Dur
+		k++
+	}
+	return out, true
+}
+
+// StepFuser fuses lockstep engine steps across the devices of one
+// cohort. It is shared the way an OpCache is — one per cohort per
+// worker, wired into each instance's Engine by the app builders — and
+// is not safe for concurrent use.
+type StepFuser struct {
+	tpls  []fuseTemplate
+	index map[string]int32
+
+	// last is the chain cursor: the template the previous step resolved
+	// to (replayed or recorded). Deliberately not reset at device
+	// seams — lockstep devices trace the same template chain, so the
+	// next device's first step usually continues it.
+	last int32
+
+	// mode tracks the current device's fused/scalar streak for
+	// split/merge accounting: 0 unknown, 1 fused, 2 scalar.
+	mode byte
+
+	bypass bool
+	stats  FuseStats
+
+	keyBuf   []byte
+	stateBuf []float64
+}
+
+// NewStepFuser returns an empty fuser.
+func NewStepFuser() *StepFuser {
+	return &StepFuser{index: make(map[string]int32), last: -1}
+}
+
+// BeginDevice marks a device seam: the split/merge streak resets, the
+// chain cursor survives.
+func (f *StepFuser) BeginDevice() { f.mode = 0 }
+
+// Stats returns a snapshot of the fuser's counters.
+func (f *StepFuser) Stats() FuseStats { return f.stats }
+
+// bypassed implements adaptive bypass: after the probation window, a
+// fused rate below the floor disables the fuser for good (this cohort's
+// steps are not converging; stop paying the recording tax).
+func (f *StepFuser) bypassed() bool {
+	if f.bypass {
+		return true
+	}
+	if f.stats.Steps >= fuseProbation &&
+		float64(f.stats.Replays) < fuseMinFusedRate*float64(f.stats.Steps) {
+		f.bypass = true
+	}
+	return f.bypass
+}
+
+func floatBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func aliveByte(alive bool) byte {
+	if alive {
+		return 1
+	}
+	return 0
+}
+
+// key packs a template key: task name, alive bit, array mask, and the
+// full electrical state bits.
+func (f *StepFuser) key(name string, alive byte, vals []float64, mask uint64) []byte {
+	k := append(f.keyBuf[:0], name...)
+	k = append(k, 0, alive)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], mask)
+	k = append(k, b[:]...)
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		k = append(k, b[:]...)
+	}
+	f.keyBuf = k
+	return k
+}
+
+// lookup resolves the template for the device's current state: chain
+// cursor first (verified live with MatchState), keyed map second. The
+// third result reports a chain-cursor hit.
+func (f *StepFuser) lookup(d *sim.Device, name string, alive byte) (*fuseTemplate, int32, bool) {
+	if f.last >= 0 {
+		if n := f.tpls[f.last].succ; n >= 0 {
+			tp := &f.tpls[n]
+			if tp.name == name && tp.alive == alive && d.Array.MatchState(tp.preVals, tp.preMask) {
+				return tp, n, true
+			}
+		}
+	}
+	var mask uint64
+	f.stateBuf, mask = d.Array.AppendState(f.stateBuf[:0])
+	key := f.key(name, alive, f.stateBuf, mask)
+	if i, ok := f.index[string(key)]; ok {
+		return &f.tpls[i], i, false
+	}
+	return nil, -1, false
+}
+
+// noteFused records a replayed step: streak accounting plus teaching
+// the chain cursor the observed successor edge. Self-edges are the
+// common case — a steady task looping on a fixed-point electrical
+// state resolves to its own template for thousands of consecutive
+// steps — so idx == last must be learnable like any other edge.
+func (f *StepFuser) noteFused(idx int32) {
+	if f.mode == 2 {
+		f.stats.Merges++
+	}
+	f.mode = 1
+	if f.last >= 0 && f.tpls[f.last].succ != idx {
+		f.tpls[f.last].succ = idx
+	}
+	f.last = idx
+}
+
+// noteScalar records that the step fell back to scalar execution.
+func (f *StepFuser) noteScalar() {
+	if f.mode == 1 {
+		f.stats.Splits++
+	}
+	f.mode = 2
+}
+
+// put stores a finished template, overwriting a stale recording of the
+// same key (the evidence regime may have moved, e.g. across a ULP
+// boundary), and links it into the chain.
+func (f *StepFuser) put(tpl fuseTemplate) {
+	key := f.key(tpl.name, tpl.alive, tpl.preVals, tpl.preMask)
+	i, ok := f.index[string(key)]
+	switch {
+	case ok:
+		// Preserve the learned successor edge: it is only a hint, and
+		// the re-recorded step usually rejoins the same chain.
+		tpl.succ = f.tpls[i].succ
+		f.tpls[i] = tpl
+	case len(f.tpls) >= fuseMaxTemplates:
+		f.stats.Discards++
+		return
+	default:
+		f.tpls = append(f.tpls, tpl)
+		i = int32(len(f.tpls) - 1)
+		f.index[string(key)] = i
+	}
+	f.stats.Records++
+	if f.last >= 0 && f.tpls[f.last].succ != i {
+		f.tpls[f.last].succ = i
+	}
+	f.last = i
+}
+
+// fuseTry is the engine's per-step fusion attempt: replay if a
+// template's evidence certifies it, otherwise arm recording for the
+// scalar execution that follows. Returns true when the step was
+// replayed (the Run loop then continues to the next step).
+func (e *Engine) fuseTry(f *StepFuser, name string, alive bool, horizon units.Seconds) bool {
+	d := e.Dev
+	// The observer gate, re-checked every step exactly like the powerAt
+	// memo's: chaos harnesses attach observers after construction.
+	if d.Trace != nil || d.Log != nil || d.Obs != nil {
+		return false
+	}
+	if e.FuseSched == nil || e.Rec == nil {
+		return false
+	}
+	pmc, ok := e.PM.(CounterSource)
+	if !ok {
+		return false
+	}
+	f.stats.Steps++
+	if f.bypassed() {
+		f.stats.Bypassed++
+		return false
+	}
+	ab := aliveByte(alive)
+	if tpl, idx, hint := f.lookup(d, name, ab); tpl != nil {
+		if e.fuseReplay(f, tpl, pmc, horizon) {
+			if hint {
+				f.stats.Hint++
+			}
+			f.noteFused(idx)
+			return true
+		}
+	}
+	f.noteScalar()
+	e.fuseArm(name, ab, pmc)
+	return false
+}
+
+// fuseReplay verifies a template's evidence at the follower's clock and
+// state and, if everything matches, applies the recorded effect.
+// Returns false — with the device untouched — on any mismatch.
+func (e *Engine) fuseReplay(f *StepFuser, tpl *fuseTemplate, pmc CounterSource, horizon units.Seconds) bool {
+	d := e.Dev
+	t0 := d.Now()
+	// The follower's end clock, computed by the same sequential adds
+	// ApplyTapeEntry will perform — bit-exact, so the horizon, ULP,
+	// constancy, and quiet checks below bound every instant the
+	// replayed step touches.
+	fEnd := t0
+	for i := range tpl.ents {
+		fEnd += tpl.ents[i].Dur
+	}
+	// Every deadline the engine or power manager compares against
+	// derives from the horizon; a step ending strictly before it keeps
+	// every comparison on the recorded branch.
+	if !(fEnd < horizon) {
+		return false
+	}
+	if tpl.sourced {
+		src := d.Sys.Source
+		if math.Float64bits(float64(src.PowerAt(t0))) != tpl.pBits {
+			return false
+		}
+		if math.Float64bits(float64(src.VoltageAt(t0))) != tpl.vBits {
+			return false
+		}
+		h := harvest.NextChange(src, t0)
+		if tpl.needForever {
+			if h != harvest.Forever {
+				return false
+			}
+		} else if h < fEnd-t0 { // Forever (+Inf) passes
+			return false
+		}
+		if float64(units.MinAdvance(t0)) != tpl.ulp || float64(units.MinAdvance(fEnd)) != tpl.ulp {
+			return false
+		}
+	}
+	if !e.FuseSched.QuietRange(t0, fEnd) {
+		return false
+	}
+	nv := d.NV
+	for i := range tpl.words {
+		w := &tpl.words[i]
+		if v, ok := nv.Word(w.k); v != w.v || ok != w.ok {
+			return false
+		}
+	}
+	for i := range tpl.blobs {
+		bl := &tpl.blobs[i]
+		b, ok := nv.PeekBlob(bl.k)
+		if ok != bl.ok || !bytes.Equal(b, bl.b) {
+			return false
+		}
+	}
+	for i := range tpl.chans {
+		ch := &tpl.chans[i]
+		if v, found := chanLookup(nv, ch.srcs, tpl.name, ch.field); v != ch.v || found != ch.found {
+			return false
+		}
+	}
+
+	// Evidence complete — apply. From here on the step is committed.
+	f.stats.Replays++
+	prof := e.profileFor(tpl.name)
+	rc, pc := pmc.FuseCounters()
+	e.fuseApplyStep(tpl, prof, rc, pc)
+
+	// Fixed-point spin: a selfFix template's successor is itself, its
+	// state is bit-identical before and after, and nothing a replayed
+	// step does can invalidate the evidence verified above — so instead
+	// of returning to the Run loop to re-verify the same facts every
+	// iteration, compute the span over which every per-step check is
+	// guaranteed to pass and apply the step's effect until the span
+	// runs out. Byte-identical to per-step replay: each iteration's end
+	// clock is predicted by the same sequential adds ApplyTapeEntry
+	// performs, and an iteration is applied only when that end stays
+	// strictly inside the bound (the per-step horizon, ULP-regime,
+	// quiet-range, and source-constancy conditions all reduce to it).
+	if tpl.selfFix {
+		if bound, ok := e.fuseSpinBound(tpl, horizon); ok {
+			for {
+				t := d.Now()
+				for i := range tpl.ents {
+					t += tpl.ents[i].Dur
+				}
+				if !(t < bound) {
+					break
+				}
+				f.stats.Steps++
+				f.stats.Replays++
+				f.stats.Hint++
+				e.fuseApplyStep(tpl, prof, rc, pc)
+			}
+		}
+	}
+
+	d.Array.RestoreState(tpl.postVals, tpl.postMask)
+	e.rngDraws += uint64(tpl.draws)
+	if e.RNG != nil {
+		for i := uint32(0); i < tpl.draws; i++ {
+			e.RNG.Float64()
+		}
+	}
+	if tpl.nextTask != tpl.name {
+		d.NV.SetBlob(nvCurrentTask, []byte(tpl.nextTask))
+	}
+	return true
+}
+
+// fuseApplyStep applies one iteration of a verified template: samples
+// at their boundary clocks, the effect tape, the loss/bookkeeping
+// deltas, and the task-profile window. State restoration, RNG
+// fast-forward, and the transition-pointer write stay in fuseReplay —
+// for a selfFix spin they are no-ops per iteration (identical bits, no
+// draws, self-transition), so applying them once at the end is
+// byte-identical to per-step replay.
+func (e *Engine) fuseApplyStep(tpl *fuseTemplate, prof *TaskProfile, rc, pc *int) {
+	d := e.Dev
+	si := 0
+	for si < len(tpl.samples) && tpl.samples[si] == 0 {
+		e.Rec.RecordSample(d.Now())
+		si++
+	}
+	timeBefore, energyBefore := d.Stats.TimeOn, d.Stats.EnergyDrawn
+	for k := range tpl.ents {
+		d.ApplyTapeEntry(tpl.ents[k])
+		kk := int32(k + 1)
+		for si < len(tpl.samples) && tpl.samples[si] == kk {
+			e.Rec.RecordSample(d.Now())
+			si++
+		}
+		if kk == tpl.prepEnts {
+			// The scalar engine snapshots its task-profile window right
+			// after Prepare; mirror that boundary on the follower's own
+			// accumulator values.
+			timeBefore, energyBefore = d.Stats.TimeOn, d.Stats.EnergyDrawn
+		}
+	}
+	d.Array.LeakLoss += tpl.dLeak
+	d.Array.ShareLoss += tpl.dShare
+	d.Array.Reverts += int(tpl.dReverts)
+	d.Stats.Boots += int(tpl.dBoots)
+	d.Stats.Brownouts += int(tpl.dBrown)
+	*rc += int(tpl.dReconfigs)
+	*pc += int(tpl.dPrecharges)
+	prof.Runs++
+	prof.Time += d.Stats.TimeOn - timeBefore
+	prof.Energy += d.Stats.EnergyDrawn - energyBefore
+}
+
+// fuseSpinBound computes the exclusive clock bound below which every
+// per-step evidence check is guaranteed to pass for further iterations
+// of a selfFix template, starting from the engine's current clock (the
+// end of the iteration just applied). Returns ok=false when no sound
+// bound exists — a time-varying source, or a schedule that cannot
+// answer span queries — in which case the caller falls back to
+// per-step replay through the Run loop.
+func (e *Engine) fuseSpinBound(tpl *fuseTemplate, horizon units.Seconds) (units.Seconds, bool) {
+	d := e.Dev
+	t0 := d.Now()
+	bound := horizon
+	if tpl.sourced {
+		// Spin only under a source that is constant forever: its output
+		// bits then match the template at every iteration start, and
+		// every NextChange query stays Forever. (Finite constancy spans
+		// would need exact boundary arithmetic; per-step replay handles
+		// them.)
+		if harvest.NextChange(d.Sys.Source, t0) != harvest.Forever {
+			return 0, false
+		}
+		// Every instant the spin touches must stay in the recorded
+		// MinAdvance ULP regime. MinAdvance is constant on binades and
+		// non-decreasing in t, so the regime ends at the first binade
+		// boundary where it changes.
+		if end := ulpRegimeEnd(t0, units.Seconds(tpl.ulp)); end < bound {
+			bound = end
+		}
+	}
+	qb, ok := e.FuseSched.(QuietBounder)
+	if !ok {
+		return 0, false
+	}
+	if q := qb.QuietBound(t0); q < bound {
+		bound = q
+	}
+	return bound, true
+}
+
+// ulpRegimeEnd returns the smallest instant at or after t0 where
+// units.MinAdvance differs from ma (MinAdvance(t) == ma for every
+// t in [t0, end)). MinAdvance is ULP-of-t with a floor: constant
+// within a binade and non-decreasing for positive t, so walking binade
+// boundaries upward finds the regime end exactly.
+func ulpRegimeEnd(t0, ma units.Seconds) units.Seconds {
+	f := float64(t0)
+	if f <= 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	_, exp := math.Frexp(f) // f ∈ [2^(exp-1), 2^exp)
+	b := math.Ldexp(1, exp)
+	for units.MinAdvance(units.Seconds(b)) == ma && !math.IsInf(b, 0) {
+		b *= 2
+	}
+	return units.Seconds(b)
+}
+
+// fuseArm attaches a fresh recording to the device for the scalar step
+// about to execute.
+func (e *Engine) fuseArm(name string, alive byte, pmc CounterSource) {
+	d := e.Dev
+	r := &e.fuseRecStore
+	r.dead = false
+	r.name = name
+	r.alive = alive
+	r.preVals, r.preMask = d.Array.AppendState(r.preVals[:0])
+	r.t0 = d.Now()
+	r.prepEnts = 0
+	r.samples0 = e.Rec.SampleCount()
+	r.reports0 = e.Rec.ReportCount()
+	r.writes0 = d.NV.Writes()
+	r.draws0 = e.rngDraws
+	r.boots0, r.brown0 = d.Stats.Boots, d.Stats.Brownouts
+	r.leak0, r.share0 = d.Array.LeakLoss, d.Array.ShareLoss
+	r.rev0 = d.Array.Reverts
+	rc, pc := pmc.FuseCounters()
+	r.reconf0, r.prechg0 = *rc, *pc
+	r.rcPtr, r.pcPtr = rc, pc
+	r.words = r.words[:0]
+	r.blobs = r.blobs[:0]
+	r.blobBuf = r.blobBuf[:0]
+	r.chans = r.chans[:0]
+	r.tape.Reset()
+	e.fuseRec = r
+	d.Tape = &r.tape
+}
+
+// fuseAbandon drops an armed recording (failed step, halt, deadline,
+// error). A no-op when no recording is armed.
+func (e *Engine) fuseAbandon() {
+	if r := e.fuseRec; r != nil {
+		e.fuseRec = nil
+		e.Dev.Tape = nil
+		e.Fuse.stats.Discards++
+		// The cursor deliberately survives: hints are verified with
+		// MatchState at every use, so a stale edge costs a miss, never
+		// a wrong replay.
+		_ = r
+	}
+}
+
+// fuseFinalize validates the just-completed scalar step's recording —
+// called after the transition commit, with next already validated and
+// interned — and stores a template if every soundness condition holds.
+func (e *Engine) fuseFinalize(name, next string) {
+	f := e.Fuse
+	r := e.fuseRec
+	e.fuseRec = nil
+	d := e.Dev
+	d.Tape = nil
+
+	end := d.Now()
+	ok := !r.dead && !r.tape.Bad &&
+		len(r.tape.Ents) <= fuseMaxEnts &&
+		r.tape.MinSlack > 0 &&
+		len(e.ctx.stagedWords) == 0 && len(e.ctx.stagedBlobs) == 0 &&
+		len(e.ctx.stagedDel) == 0 && len(e.ctx.stagedChans) == 0 &&
+		e.Rec.ReportCount() == r.reports0
+	if ok {
+		// The only NV write a recordable step makes is the engine's own
+		// transition-pointer update (safety net against unmodeled
+		// writes).
+		expect := 0
+		if next != name {
+			expect = 1
+		}
+		ok = d.NV.Writes()-r.writes0 == expect
+	}
+	var (
+		pBits, vBits uint64
+		needForever  bool
+		ulp          float64
+	)
+	if ok && r.tape.Sourced {
+		src := d.Sys.Source
+		pBits = math.Float64bits(float64(src.PowerAt(r.t0)))
+		vBits = math.Float64bits(float64(src.VoltageAt(r.t0)))
+		needForever = r.tape.NeedForever
+		h0 := harvest.NextChange(src, r.t0)
+		if needForever {
+			ok = h0 == harvest.Forever
+		} else {
+			ok = h0 >= end-r.t0 // Forever (+Inf) passes
+		}
+		// The step must sit inside one MinAdvance ULP regime, so the
+		// integrators' segment floors translate with the clock.
+		ma := units.MinAdvance(r.t0)
+		ok = ok && ma == units.MinAdvance(end)
+		ulp = float64(ma)
+	}
+	ok = ok && e.FuseSched.QuietRange(r.t0, end)
+	var samples []int32
+	if ok {
+		samples, ok = r.matchSamples(e.Rec)
+	}
+	if !ok {
+		// The cursor survives the discard: the next recordable step is
+		// still this chain's successor, and the MatchState verification
+		// at every hint keeps a stale edge harmless.
+		f.stats.Discards++
+		return
+	}
+
+	tpl := fuseTemplate{
+		name:        name,
+		nextTask:    next,
+		alive:       r.alive,
+		preMask:     r.preMask,
+		preVals:     append([]float64(nil), r.preVals...),
+		ents:        append([]sim.TapeEntry(nil), r.tape.Ents...),
+		prepEnts:    r.prepEnts,
+		succ:        -1,
+		samples:     samples,
+		draws:       uint32(e.rngDraws - r.draws0),
+		dBoots:      int32(d.Stats.Boots - r.boots0),
+		dBrown:      int32(d.Stats.Brownouts - r.brown0),
+		dReverts:    int32(d.Array.Reverts - r.rev0),
+		dReconfigs:  int32(*r.rcPtr - r.reconf0),
+		dPrecharges: int32(*r.pcPtr - r.prechg0),
+		dLeak:       d.Array.LeakLoss - r.leak0,
+		dShare:      d.Array.ShareLoss - r.share0,
+		sourced:     r.tape.Sourced,
+		needForever: needForever,
+		pBits:       pBits,
+		vBits:       vBits,
+		ulp:         ulp,
+	}
+	tpl.postVals, tpl.postMask = d.Array.AppendState(nil)
+	// A bit-exact fixed point — an alive self-transition that left the
+	// electrical state untouched and drew nothing — is spinnable: its
+	// replay effect is identical every iteration (see fuseReplay).
+	tpl.selfFix = tpl.nextTask == tpl.name && tpl.alive == 1 &&
+		tpl.draws == 0 && tpl.postMask == tpl.preMask &&
+		floatBitsEqual(tpl.postVals, tpl.preVals)
+	if n := len(r.words); n > 0 {
+		tpl.words = append(make([]wordRead, 0, n), r.words...)
+	}
+	if n := len(r.blobs); n > 0 {
+		tpl.blobs = make([]blobRead, 0, n)
+		for i := range r.blobs {
+			rb := &r.blobs[i]
+			tpl.blobs = append(tpl.blobs, blobRead{
+				k:  rb.k,
+				b:  append([]byte(nil), r.blobBuf[rb.off:rb.off+rb.n]...),
+				ok: rb.ok,
+			})
+		}
+	}
+	if n := len(r.chans); n > 0 {
+		tpl.chans = make([]chanRead, 0, n)
+		for i := range r.chans {
+			c := &r.chans[i]
+			tpl.chans = append(tpl.chans, chanRead{
+				field: c.field,
+				srcs:  append([]string(nil), c.srcs...),
+				v:     c.v,
+				found: c.found,
+			})
+		}
+	}
+	f.put(tpl)
+}

@@ -1,0 +1,135 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+
+	"capybara/internal/device"
+	"capybara/internal/env"
+	"capybara/internal/harvest"
+	"capybara/internal/metrics"
+	"capybara/internal/power"
+	"capybara/internal/reservoir"
+	"capybara/internal/sim"
+	"capybara/internal/storage"
+	"capybara/internal/units"
+)
+
+// fusePM is greedyPM plus the counter surface fused replay needs: the
+// minimal power manager that makes an engine fusible.
+type fusePM struct {
+	greedyPM
+	reconfigs  int
+	precharges int
+}
+
+func (m *fusePM) FuseCounters() (reconfigs, precharges *int) {
+	return &m.reconfigs, &m.precharges
+}
+
+// newFusedEngine builds an engine on deterministic hardware with a
+// seeded RNG stream, optionally wired to a shared StepFuser the way the
+// fleet's application builders wire one.
+func newFusedEngine(t *testing.T, p units.Power, prog *Program, rngSeed int64, fuser *StepFuser) *Engine {
+	t.Helper()
+	bank := storage.MustBank("fuse-bank",
+		storage.GroupFor(storage.CeramicX5R, 400*units.MicroFarad),
+		storage.GroupFor(storage.Tantalum, 330*units.MicroFarad),
+		storage.GroupOf(storage.EDLC, 1))
+	arr := reservoir.NewArray(bank, reservoir.NormallyOpen)
+	sys := power.NewSystem(harvest.RegulatedSupply{Max: p, V: 3.0})
+	dev := sim.NewDevice(sys, arr, device.MSP430FR5969())
+	pm := &fusePM{greedyPM: greedyPM{dev: dev, vtop: 2.4}}
+	e := NewEngine(dev, prog, pm)
+	e.RNG = rand.New(rand.NewSource(rngSeed))
+	if fuser != nil {
+		e.Fuse = fuser
+		e.FuseSched = env.Schedule{}
+		e.Rec = &metrics.Recorder{}
+	}
+	return e
+}
+
+// rngProgram is a three-task cycle whose bodies draw 1, 2, and 3 RNG
+// values per step and feed them into the compute cost, so a replayed
+// step both skips draws (the fast-forward under test) and carries
+// draw-dependent effects on the clock and energy accumulators.
+func rngProgram() *Program {
+	mk := func(name string, draws int, next Next) *Task {
+		return &Task{
+			Name: name,
+			Run: func(c *Ctx) Next {
+				for i := 0; i < draws; i++ {
+					c.Compute(2_000 + 3_000*c.Rand())
+				}
+				return next
+			},
+		}
+	}
+	return MustProgram("a",
+		mk("a", 1, "b"),
+		mk("b", 2, "c"),
+		mk("c", 3, "a"))
+}
+
+// TestFuseRNGFastForward is the RNG replay-soundness property test: for
+// randomized supply power, horizon, and RNG seed, a follower device
+// running entirely through fused replays must leave its RNG stream —
+// and every report-visible accumulator — exactly where a scalar run of
+// the same device leaves them. The stream check draws past the horizon:
+// if a replay fast-forwarded one draw too few or too many, the very
+// next value diverges.
+func TestFuseRNGFastForward(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 50
+	}
+	rng := rand.New(rand.NewSource(0xf00d))
+	var replays, records uint64
+	for trial := 0; trial < trials; trial++ {
+		prog := rngProgram()
+		p := units.Power(1.5+6.5*rng.Float64()) * units.MilliWatt
+		horizon := units.Seconds(5 + 20*rng.Float64())
+		rngSeed := rng.Int63()
+
+		fuser := NewStepFuser()
+		leader := newFusedEngine(t, p, prog, rngSeed, fuser)
+		fuser.BeginDevice()
+		if err := leader.Run(horizon); err != nil {
+			t.Fatalf("trial %d: leader: %v", trial, err)
+		}
+		follower := newFusedEngine(t, p, prog, rngSeed, fuser)
+		fuser.BeginDevice()
+		if err := follower.Run(horizon); err != nil {
+			t.Fatalf("trial %d: follower: %v", trial, err)
+		}
+		control := newFusedEngine(t, p, prog, rngSeed, nil)
+		if err := control.Run(horizon); err != nil {
+			t.Fatalf("trial %d: control: %v", trial, err)
+		}
+
+		if got, want := follower.Dev.Now(), control.Dev.Now(); got != want {
+			t.Fatalf("trial %d: follower clock %v, control %v", trial, got, want)
+		}
+		if got, want := follower.Dev.Stats, control.Dev.Stats; got != want {
+			t.Fatalf("trial %d: follower stats %+v, control %+v", trial, got, want)
+		}
+		if got, want := follower.Restarts, control.Restarts; got != want {
+			t.Fatalf("trial %d: follower restarts %d, control %d", trial, got, want)
+		}
+		for i := 0; i < 16; i++ {
+			if got, want := follower.RNG.Float64(), control.RNG.Float64(); got != want {
+				t.Fatalf("trial %d: RNG stream diverged %d draws past the horizon: follower %v, control %v",
+					trial, i, got, want)
+			}
+		}
+		st := fuser.Stats()
+		replays += st.Replays
+		records += st.Records
+	}
+	// The property is only meaningful if fusion actually engaged.
+	if records == 0 || replays == 0 {
+		t.Fatalf("fusion never engaged across %d trials (records=%d replays=%d) — property is vacuous",
+			trials, records, replays)
+	}
+}
