@@ -368,14 +368,16 @@ func BenchmarkFleetVectorized(b *testing.B) {
 	b.ReportMetric(res.Batch.VectorRate(), "vector-rate")
 }
 
-// BenchmarkFleetFused is the full stage-3 engine (the default knob
-// mix): fused task-engine stepping over the vectorized batch path.
-// Lockstep cohorts replay whole engine steps — power-manager prepare,
-// task body, transition commit — from recorded effect tapes, and
-// bit-exact fixed-point steps spin for whole verified spans without
-// returning to the engine loop. fused-rate is the fraction of eligible
-// engine steps served by replay (fleet-wide); capyP-fused-rate scopes
-// it to the Capy-P steady cohorts, the lockstep population the paper's
+// BenchmarkFleetFused is the stage-3 engine: fused task-engine stepping
+// over the vectorized batch path, with the stage-4 extensions (cohort
+// -shared spins, phase-keyed tapes) pinned off so it stays the clean
+// per-device-fusion control for BenchmarkFleetCohortSpin. Lockstep
+// cohorts replay whole engine steps — power-manager prepare, task body,
+// transition commit — from recorded effect tapes, and bit-exact
+// fixed-point steps spin for whole verified spans without returning to
+// the engine loop. fused-rate is the fraction of eligible engine steps
+// served by replay (fleet-wide); capyP-fused-rate scopes it to the
+// Capy-P steady cohorts, the lockstep population the paper's
 // architecture targets (time-varying-source cohorts are designed out:
 // their steps fail the constancy evidence and adaptively bypass). The
 // devices/sec delta against BenchmarkFleetVectorized is fusion's whole
@@ -385,6 +387,8 @@ func BenchmarkFleetFused(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := fleetBenchConfig()
 		cfg.Jobs = 1
+		cfg.NoCohortSpin = true
+		cfg.NoPhaseKeys = true
 		r, err := fleet.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -401,6 +405,46 @@ func BenchmarkFleetFused(b *testing.B) {
 	b.ReportMetric(res.Fuse.FusedRate(), "fused-rate")
 	b.ReportMetric(capyP.FusedRate(), "capyP-fused-rate")
 	b.ReportMetric(res.Fuse.HintRate(), "fuse-hint-rate")
+}
+
+// BenchmarkFleetCohortSpin is the full stage-4 engine (the default knob
+// mix): cohort-shared fixed-point spins and phase-keyed tapes over the
+// fused vectorized batch path. Spin plans built by the first cohort
+// member through a fixed point are cached on the template and reused by
+// every later member — cohort-spin-rate is the fraction of spins that
+// reused a plan, spin-fold the resulting per-plan amortization — and
+// phase keys let charges under finite constancy horizons record and
+// replay, which is what moves the PWM cohorts' fused rate off zero
+// (pwm-fused-rate; compare BenchmarkFleetFused, where it is pinned at
+// 0). The devices/sec delta against BenchmarkFleetFused is stage 4's
+// whole win; the report is byte-identical (TestFleetCohortSpinInvariant).
+func BenchmarkFleetCohortSpin(b *testing.B) {
+	var res *fleet.Result
+	for i := 0; i < b.N; i++ {
+		cfg := fleetBenchConfig()
+		cfg.Jobs = 1
+		r, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	var capyP, pwm task.FuseStats
+	for i, cs := range res.Cohorts {
+		if cs.Cohort.Variant == core.CapyP && cs.Cohort.Scenario == fleet.Steady {
+			capyP.Add(res.CohortFuse[i])
+		}
+		if cs.Cohort.Scenario == fleet.PWM {
+			pwm.Add(res.CohortFuse[i])
+		}
+	}
+	b.ReportMetric(res.DevicesSec, "devices/sec")
+	b.ReportMetric(res.Fuse.FusedRate(), "fused-rate")
+	b.ReportMetric(capyP.FusedRate(), "capyP-fused-rate")
+	b.ReportMetric(pwm.FusedRate(), "pwm-fused-rate")
+	b.ReportMetric(res.Fuse.CohortSpinRate(), "cohort-spin-rate")
+	b.ReportMetric(res.Fuse.SpinFold(), "spin-fold-x")
+	b.ReportMetric(res.Fuse.PhaseHitRate(), "phase-hit-rate")
 }
 
 // BenchmarkFleetScalar is BenchmarkFleetBatch's control: identical

@@ -42,6 +42,8 @@ func serveHTTP(ctx context.Context, o *options, ready chan<- string) error {
 		Batch:         o.configBatch(),
 		NoVector:      o.noVector,
 		NoFuse:        o.noFuse,
+		NoCohortSpin:  o.noCohortSpin,
+		NoPhaseKeys:   o.noPhaseKeys,
 		BypassAfter:   o.bypassAfter,
 		BypassBelow:   o.bypassBelow,
 	})

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestFleetCohortSpinInvariant: neither cohort-shared spins nor
+// phase-keyed tapes may change a byte of the report versus the scalar
+// path, alone or combined with the fuse/vector/batch knobs. Shared
+// spins only reuse a cached bound (membership is re-proved per spin and
+// every applied iteration's end clock comes from the scalar float-add
+// sequence) and phase keys are cache discriminators whose evidence is
+// re-verified live, so the report must be invariant — this is the
+// empirical check across the full knob cross, per DESIGN.md §10
+// stage 4.
+func TestFleetCohortSpinInvariant(t *testing.T) {
+	scalar := testConfig(2, false)
+	scalar.Batch = -1
+	scalar.NoFuse = true
+	wantCSV, wantJSON := renderBoth(t, scalar)
+	check := func(cfg Config) {
+		t.Helper()
+		csv, js := renderBoth(t, cfg)
+		if csv != wantCSV {
+			t.Fatalf("Batch=%d NoVector=%v NoFuse=%v NoCohortSpin=%v NoPhaseKeys=%v changed the CSV report vs scalar:\n--- scalar ---\n%s--- got ---\n%s",
+				cfg.Batch, cfg.NoVector, cfg.NoFuse, cfg.NoCohortSpin, cfg.NoPhaseKeys, wantCSV, csv)
+		}
+		if js != wantJSON {
+			t.Fatalf("Batch=%d NoVector=%v NoFuse=%v NoCohortSpin=%v NoPhaseKeys=%v changed the JSON report vs scalar",
+				cfg.Batch, cfg.NoVector, cfg.NoFuse, cfg.NoCohortSpin, cfg.NoPhaseKeys)
+		}
+	}
+	// Full four-knob cross at unlimited width; the degenerate width-1
+	// cross covers the new knobs with fuse and the cursor engaged (the
+	// fuse×vector×width interactions alone are TestFleetVectorInvariant's
+	// job).
+	for mask := 0; mask < 16; mask++ {
+		cfg := testConfig(2, false)
+		cfg.Batch = 0
+		cfg.NoCohortSpin = mask&1 != 0
+		cfg.NoPhaseKeys = mask&2 != 0
+		cfg.NoFuse = mask&4 != 0
+		cfg.NoVector = mask&8 != 0
+		check(cfg)
+	}
+	for mask := 0; mask < 4; mask++ {
+		cfg := testConfig(2, false)
+		cfg.Batch = 1
+		cfg.NoCohortSpin = mask&1 != 0
+		cfg.NoPhaseKeys = mask&2 != 0
+		check(cfg)
+	}
+}
+
+// TestFleetPhaseKeyProperty: randomized specs with the stage-4 knobs
+// drawn at random alongside the knobs most likely to interact with them
+// (batch width, cursor, parallelism). The cohort grid always contains
+// PWM and blackout scenarios, so every trial exercises finite-horizon
+// recording; the scalar report is the oracle.
+func TestFleetPhaseKeyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		spec := Config{
+			N:     1 + rng.Intn(96),
+			Seed:  rng.Int63(),
+			Scale: 0.01 + 0.05*rng.Float64(),
+		}
+		scalar := spec
+		scalar.Batch = -1
+		scalar.Jobs = 1
+		scalar.NoFuse = true
+		wantCSV, wantJSON := renderBoth(t, scalar)
+
+		cfg := spec
+		cfg.Batch = []int{0, 1, 1 + rng.Intn(64)}[rng.Intn(3)]
+		cfg.Jobs = 1 + rng.Intn(4)
+		cfg.NoVector = rng.Intn(2) == 0
+		cfg.NoCohortSpin = rng.Intn(2) == 0
+		cfg.NoPhaseKeys = rng.Intn(2) == 0
+		csv, js := renderBoth(t, cfg)
+		if csv != wantCSV {
+			t.Fatalf("trial %d (%+v vs scalar %+v): CSV differs:\n--- scalar ---\n%s--- got ---\n%s",
+				trial, cfg, scalar, wantCSV, csv)
+		}
+		if js != wantJSON {
+			t.Fatalf("trial %d (%+v): JSON differs", trial, cfg)
+		}
+	}
+}
+
+// TestFleetPWMCohortsFuse pins the perf claim behind phase keys: PWM
+// cohorts — whose charges all run under finite constancy horizons and
+// therefore never fused before stage 4 — must see phase-keyed replays,
+// and the fleet must share spin plans across cohort members.
+func TestFleetPWMCohortsFuse(t *testing.T) {
+	cfg := Config{N: 768, Seed: 1, Jobs: 2, Scale: 0.05}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := job.Cohorts()
+	if len(res.CohortFuse) != len(grid) {
+		t.Fatalf("CohortFuse has %d entries, want %d", len(res.CohortFuse), len(grid))
+	}
+	var pwmReplays, pwmPhaseHits uint64
+	for i, c := range grid {
+		if c.Scenario == PWM {
+			pwmReplays += res.CohortFuse[i].Replays
+			pwmPhaseHits += res.CohortFuse[i].PhaseHits
+		}
+	}
+	if pwmReplays == 0 {
+		t.Fatal("PWM cohorts fused no steps — phase-keyed tapes are not engaging")
+	}
+	if pwmPhaseHits == 0 {
+		t.Fatal("PWM cohorts had no phase-keyed replays")
+	}
+	if res.Fuse.Spins == 0 || res.Fuse.SpinShared == 0 {
+		t.Fatalf("no shared spins across the fleet (spins=%d shared=%d)",
+			res.Fuse.Spins, res.Fuse.SpinShared)
+	}
+}

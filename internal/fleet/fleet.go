@@ -153,6 +153,25 @@ type Config struct {
 	// fusers live in worker scratch). Unlike Batch, fusion does not
 	// depend on the op-cache path being on.
 	NoFuse bool
+	// NoCohortSpin disables cohort-shared fixed-point spins — the
+	// stage-4 path where a selfFix template's spin bound (ULP regime +
+	// live constancy span + quiet bound) is computed once, cached on the
+	// template, and reused by every cohort member, with sample-free
+	// iterations applied as one span assignment instead of per-entry
+	// adds. Spins are byte-identical with sharing on or off (an
+	// iteration is applied only when its predicted end — the exact
+	// float-add sequence of the scalar path — stays inside the bound),
+	// so this is a perf A/B knob, excluded from the Spec.
+	NoCohortSpin bool
+	// NoPhaseKeys disables phase-keyed tapes and op-cache entries — the
+	// stage-4 extension that lets charges under *finite* constancy
+	// horizons (steady PWM, blackout, modulated sources) record and
+	// replay, discriminated by the source's phase regime
+	// (harvest.PhaseKey). Keys are cache discriminators, never evidence:
+	// duration coverage is re-proved live on every replay, so the report
+	// is byte-identical with keys on or off. Perf A/B knob, excluded
+	// from the Spec.
+	NoPhaseKeys bool
 	// BypassAfter/BypassBelow tune the op-cache probation heuristic:
 	// after BypassAfter calls (0 = the built-in 2^15 default), a cohort
 	// whose replay rate is below BypassBelow (0 = the built-in 60%)

@@ -48,15 +48,17 @@ type Spec struct {
 // the batch/fused stepping paths. None of these change a byte of the
 // report — that is exactly why they are not part of Spec.
 type ExecOptions struct {
-	Jobs        int
-	NoMemo      bool
-	CacheSize   int
-	NoRecycle   bool
-	Batch       int
-	NoVector    bool
-	NoFuse      bool
-	BypassAfter uint64
-	BypassBelow float64
+	Jobs         int
+	NoMemo       bool
+	CacheSize    int
+	NoRecycle    bool
+	Batch        int
+	NoVector     bool
+	NoFuse       bool
+	NoCohortSpin bool
+	NoPhaseKeys  bool
+	BypassAfter  uint64
+	BypassBelow  float64
 }
 
 // Exec builds a Config from a received Spec plus local execution
@@ -64,19 +66,21 @@ type ExecOptions struct {
 // with their own parallelism and cache settings.
 func (s Spec) Exec(o ExecOptions) Config {
 	return Config{
-		N:           s.N,
-		Seed:        s.Seed,
-		Scale:       s.Scale,
-		ChunkSize:   s.ChunkSize,
-		Jobs:        o.Jobs,
-		NoMemo:      o.NoMemo,
-		CacheSize:   o.CacheSize,
-		NoRecycle:   o.NoRecycle,
-		Batch:       o.Batch,
-		NoVector:    o.NoVector,
-		NoFuse:      o.NoFuse,
-		BypassAfter: o.BypassAfter,
-		BypassBelow: o.BypassBelow,
+		N:            s.N,
+		Seed:         s.Seed,
+		Scale:        s.Scale,
+		ChunkSize:    s.ChunkSize,
+		Jobs:         o.Jobs,
+		NoMemo:       o.NoMemo,
+		CacheSize:    o.CacheSize,
+		NoRecycle:    o.NoRecycle,
+		Batch:        o.Batch,
+		NoVector:     o.NoVector,
+		NoFuse:       o.NoFuse,
+		NoCohortSpin: o.NoCohortSpin,
+		NoPhaseKeys:  o.NoPhaseKeys,
+		BypassAfter:  o.BypassAfter,
+		BypassBelow:  o.BypassBelow,
 	}
 }
 
@@ -216,6 +220,7 @@ func (ws *Scratch) opsFor(j *Job, ci int) *sim.OpCache {
 		if j.cfg.NoVector {
 			ws.ops[ci].DisableVector()
 		}
+		ws.ops[ci].SetPhaseKeys(!j.cfg.NoPhaseKeys)
 		ws.ops[ci].SetProbation(j.cfg.BypassAfter, j.cfg.BypassBelow)
 	}
 	return ws.ops[ci]
@@ -227,6 +232,12 @@ func (ws *Scratch) fuseFor(j *Job, ci int) *task.StepFuser {
 	}
 	if ws.fuse[ci] == nil {
 		ws.fuse[ci] = task.NewStepFuser()
+		if j.cfg.NoCohortSpin {
+			ws.fuse[ci].DisableCohortSpin()
+		}
+		if j.cfg.NoPhaseKeys {
+			ws.fuse[ci].DisablePhaseKeys()
+		}
 	}
 	return ws.fuse[ci]
 }
@@ -371,14 +382,19 @@ func (j *Job) RunChunk(ctx context.Context, ci int, ws *Scratch) (*ChunkPartial,
 			}
 			after, b := f.Stats(), fuseBefore[i]
 			cp.Fuse[i] = task.FuseStats{
-				Steps:    after.Steps - b.Steps,
-				Replays:  after.Replays - b.Replays,
-				Hint:     after.Hint - b.Hint,
-				Records:  after.Records - b.Records,
-				Discards: after.Discards - b.Discards,
-				Bypassed: after.Bypassed - b.Bypassed,
-				Splits:   after.Splits - b.Splits,
-				Merges:   after.Merges - b.Merges,
+				Steps:      after.Steps - b.Steps,
+				Replays:    after.Replays - b.Replays,
+				Hint:       after.Hint - b.Hint,
+				Records:    after.Records - b.Records,
+				Discards:   after.Discards - b.Discards,
+				Bypassed:   after.Bypassed - b.Bypassed,
+				Splits:     after.Splits - b.Splits,
+				Merges:     after.Merges - b.Merges,
+				Spins:      after.Spins - b.Spins,
+				SpinShared: after.SpinShared - b.SpinShared,
+				SpinIters:  after.SpinIters - b.SpinIters,
+				PhaseKeyed: after.PhaseKeyed - b.PhaseKeyed,
+				PhaseHits:  after.PhaseHits - b.PhaseHits,
 			}
 		}
 	}

@@ -233,6 +233,14 @@ func (r *Result) Diagnostics() string {
 		b = fmt.Appendf(b, "fuse: %d steps, %.1f%% fused (%.1f%% chained), %d records, %d discards, %d splits, %d merges, %d bypassed\n",
 			f.Steps, 100*f.FusedRate(), 100*f.HintRate(), f.Records, f.Discards,
 			f.Splits, f.Merges, f.Bypassed)
+		if f.Spins > 0 {
+			b = fmt.Appendf(b, "spin: %d spins, %.1f%% shared (fold %.1fx), %d iters\n",
+				f.Spins, 100*f.CohortSpinRate(), f.SpinFold(), f.SpinIters)
+		}
+		if f.PhaseHits > 0 {
+			b = fmt.Appendf(b, "phase: %d phase-keyed replays (%.1f%% of replays)\n",
+				f.PhaseHits, 100*f.PhaseHitRate())
+		}
 	} else if r.Config.NoFuse {
 		b = append(b, "fuse: disabled\n"...)
 	}
@@ -269,6 +277,14 @@ func (r *Result) appendCohortDiagnostics(b []byte) []byte {
 					100*f.FusedRate(), 100*f.HintRate(), f.Records, f.Discards, f.Splits, f.Merges)
 				if f.Bypassed > 0 {
 					line = fmt.Appendf(line, ", %d bypassed", f.Bypassed)
+				}
+				if f.Spins > 0 {
+					line = fmt.Appendf(line, " | spin %5.1f%% shared (fold %.1fx)",
+						100*f.CohortSpinRate(), f.SpinFold())
+				}
+				if f.PhaseHits > 0 {
+					line = fmt.Appendf(line, " | phase %5.1f%% of replays (%d keyed)",
+						100*f.PhaseHitRate(), f.PhaseHits)
 				}
 			}
 		}

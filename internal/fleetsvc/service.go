@@ -53,6 +53,12 @@ type ServiceConfig struct {
 	NoVector bool
 	// NoFuse disables fused task-engine stepping (fleet Config.NoFuse).
 	NoFuse bool
+	// NoCohortSpin disables cohort-shared fixed-point spins (fleet
+	// Config.NoCohortSpin).
+	NoCohortSpin bool
+	// NoPhaseKeys disables phase-keyed tapes and op-cache entries (fleet
+	// Config.NoPhaseKeys).
+	NoPhaseKeys bool
 	// BypassAfter/BypassBelow tune the op-cache probation heuristic
 	// (fleet Config.BypassAfter/BypassBelow; 0 = defaults).
 	BypassAfter uint64
@@ -321,15 +327,17 @@ func (s *Service) engineConfig(si SpecInfo) fleet.Config {
 
 func (s *Service) execOptions() fleet.ExecOptions {
 	return fleet.ExecOptions{
-		Jobs:        s.cfg.Jobs,
-		NoMemo:      s.cfg.NoMemo,
-		CacheSize:   s.cfg.CacheSize,
-		NoRecycle:   s.cfg.NoRecycle,
-		Batch:       s.cfg.Batch,
-		NoVector:    s.cfg.NoVector,
-		NoFuse:      s.cfg.NoFuse,
-		BypassAfter: s.cfg.BypassAfter,
-		BypassBelow: s.cfg.BypassBelow,
+		Jobs:         s.cfg.Jobs,
+		NoMemo:       s.cfg.NoMemo,
+		CacheSize:    s.cfg.CacheSize,
+		NoRecycle:    s.cfg.NoRecycle,
+		Batch:        s.cfg.Batch,
+		NoVector:     s.cfg.NoVector,
+		NoFuse:       s.cfg.NoFuse,
+		NoCohortSpin: s.cfg.NoCohortSpin,
+		NoPhaseKeys:  s.cfg.NoPhaseKeys,
+		BypassAfter:  s.cfg.BypassAfter,
+		BypassBelow:  s.cfg.BypassBelow,
 	}
 }
 

@@ -1,0 +1,139 @@
+package harvest
+
+import "capybara/internal/units"
+
+// PhaseKeyer is optionally implemented by sources and traces whose
+// piecewise-constant output cycles through a small set of regimes (PWM
+// on/off, blackout window vs. gap, diurnal night). PhaseKey(t) returns
+// a key identifying the regime the output is in at time t, and whether
+// the regime is keyable at all: ok is false while the output varies
+// continuously (the diurnal day sinusoid) or the shape is opaque.
+//
+// Keys are a cache discriminator, never evidence. Two instants with the
+// same key see the same output *level*, but not necessarily the same
+// remaining horizon — every consumer (the tape recorder, the op cache,
+// the step fuser) re-proves duration coverage live against NextChange
+// and re-checks the sampled power/voltage bits before replaying. A
+// coarse or colliding key can therefore cost performance, never
+// correctness.
+type PhaseKeyer interface {
+	PhaseKey(t units.Seconds) (uint64, bool)
+}
+
+// PhaseKey reports x's output regime at time t. x is typically a Source
+// or a Trace. If x does not implement PhaseKeyer, the regime is unknown
+// and PhaseKey returns (0, false): callers must treat the output as
+// unkeyable, exactly as a non-Stepped source is treated by NextChange.
+func PhaseKey(x any, t units.Seconds) (uint64, bool) {
+	pk, ok := x.(PhaseKeyer)
+	if !ok {
+		return 0, false
+	}
+	return pk.PhaseKey(t)
+}
+
+// phaseMix folds two regime keys into one. Asymmetric on purpose so
+// that composing (source, trace) distinguishes which side contributed
+// which regime; collisions are harmless (keys are not evidence).
+func phaseMix(a, b uint64) uint64 {
+	const m = 0x9e3779b97f4a7c15
+	h := (a ^ b*m) * m
+	return h ^ h>>32
+}
+
+// PhaseKey implements PhaseKeyer: a constant trace is one regime.
+func (c constantTrace) PhaseKey(units.Seconds) (uint64, bool) { return 0, true }
+
+// PhaseKey implements PhaseKeyer: the square wave's on/off state, via
+// the same phase comparison Level uses. The key deliberately ignores
+// the offset within the half-cycle — duration coverage is what differs
+// between offsets, and consumers re-prove that live via NextChange.
+func (p pwmTrace) PhaseKey(t units.Seconds) (uint64, bool) {
+	if p.phase(t) < p.duty {
+		return 1, true
+	}
+	return 0, true
+}
+
+// PhaseKey implements PhaseKeyer: the night half is one constant-zero
+// regime; the day sinusoid varies continuously, so it is unkeyable.
+func (d diurnalTrace) PhaseKey(t units.Seconds) (uint64, bool) {
+	ph := fastMod(float64(t), float64(d.period))
+	if ph >= float64(d.period)/2 {
+		return 1, true
+	}
+	return 0, false
+}
+
+// PhaseKey implements PhaseKeyer. Inside a blackout window the output
+// is forced to zero regardless of the base, but each window is its own
+// regime (their remaining horizons differ). Outside, the key combines
+// the base regime with the gap index so the stretches between windows
+// stay distinct.
+func (b blackoutTrace) PhaseKey(t units.Seconds) (uint64, bool) {
+	for i, w := range b.windows {
+		if t >= w[0] && t < w[0]+w[1] {
+			return phaseMix(uint64(i), 1), true
+		}
+	}
+	base, ok := PhaseKey(b.base, t)
+	if !ok {
+		return 0, false
+	}
+	var gap uint64
+	for _, w := range b.windows {
+		if w[0] <= t {
+			gap++
+		}
+	}
+	return phaseMix(base*1000003+gap, 0), true
+}
+
+// PhaseKey implements PhaseKeyer: the product regime is keyable while
+// both factors are.
+func (s scaleTrace) PhaseKey(t units.Seconds) (uint64, bool) {
+	ka, ok := PhaseKey(s.a, t)
+	if !ok {
+		return 0, false
+	}
+	kb, ok := PhaseKey(s.b, t)
+	if !ok {
+		return 0, false
+	}
+	return phaseMix(ka, kb), true
+}
+
+// PhaseKey implements PhaseKeyer: a regulated supply is one regime.
+func (s RegulatedSupply) PhaseKey(units.Seconds) (uint64, bool) { return 0, true }
+
+// PhaseKey implements PhaseKeyer: a fixed-range RF field is one regime.
+func (r RFHarvester) PhaseKey(units.Seconds) (uint64, bool) { return 0, true }
+
+// PhaseKey implements PhaseKeyer by delegating to the light trace; a
+// nil trace means constant full sun.
+func (p SolarPanel) PhaseKey(t units.Seconds) (uint64, bool) {
+	if p.Light == nil {
+		return 0, true
+	}
+	return PhaseKey(p.Light, t)
+}
+
+// PhaseKey implements PhaseKeyer by delegating to the wrapped source:
+// the clamp is memoryless.
+func (l Limiter) PhaseKey(t units.Seconds) (uint64, bool) {
+	return PhaseKey(l.Source, t)
+}
+
+// PhaseKey implements PhaseKeyer: a modulated source's regime combines
+// the base source's regime with the trace's.
+func (m Modulated) PhaseKey(t units.Seconds) (uint64, bool) {
+	ks, ok := PhaseKey(m.Source, t)
+	if !ok {
+		return 0, false
+	}
+	kt, ok := PhaseKey(m.Trace, t)
+	if !ok {
+		return 0, false
+	}
+	return phaseMix(ks, kt), true
+}

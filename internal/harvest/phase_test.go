@@ -1,0 +1,221 @@
+package harvest
+
+import (
+	"testing"
+
+	"capybara/internal/units"
+)
+
+func TestPhaseKeyConstantSources(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		x    any
+	}{
+		{"constant trace", ConstantTrace(0.7)},
+		{"regulated supply", RegulatedSupply{Max: 0.01, V: 3.3}},
+		{"rf harvester", RFHarvester{TransmitPower: 3, Distance: 2, Efficiency: 0.5, V: 3.0}},
+		{"solar no trace", SolarPanel{PeakPower: 0.02, OpenCircuitVoltage: 4}},
+	} {
+		k0, ok := PhaseKey(tc.x, 0)
+		if !ok {
+			t.Fatalf("%s: not keyable", tc.name)
+		}
+		k1, ok := PhaseKey(tc.x, 1e6)
+		if !ok || k1 != k0 {
+			t.Fatalf("%s: key not constant: %d@0 vs %d@1e6 (ok=%v)", tc.name, k0, k1, ok)
+		}
+	}
+}
+
+func TestPhaseKeyOpaque(t *testing.T) {
+	f := TraceFunc(func(t units.Seconds) float64 { return 0.5 })
+	if _, ok := PhaseKey(f, 0); ok {
+		t.Fatal("opaque TraceFunc reported a phase key")
+	}
+	m := Modulated{Source: RegulatedSupply{Max: 0.01, V: 3.3}, Trace: f}
+	if _, ok := PhaseKey(m, 0); ok {
+		t.Fatal("modulated over an opaque trace reported a phase key")
+	}
+}
+
+// TestPhaseKeyPWM pins the key to the square wave's on/off state: the
+// key equals 1 exactly when Level is 1, at offsets all over the cycle.
+func TestPhaseKeyPWM(t *testing.T) {
+	tr := PWMTrace(0.42, 8)
+	for i := 0; i < 200; i++ {
+		at := units.Seconds(float64(i) * 0.173)
+		k, ok := PhaseKey(tr, at)
+		if !ok {
+			t.Fatalf("pwm not keyable at %v", at)
+		}
+		lvl := tr.Level(at)
+		if (k == 1) != (lvl == 1) {
+			t.Fatalf("pwm key %d disagrees with level %g at %v", k, lvl, at)
+		}
+	}
+}
+
+func TestPhaseKeyDiurnal(t *testing.T) {
+	tr := DiurnalTrace(100)
+	if _, ok := PhaseKey(tr, 25); ok {
+		t.Fatal("diurnal day keyable (sinusoid varies continuously)")
+	}
+	k, ok := PhaseKey(tr, 75)
+	if !ok {
+		t.Fatal("diurnal night not keyable")
+	}
+	if lvl := tr.Level(75); lvl != 0 {
+		t.Fatalf("keyed night level %g, want 0", lvl)
+	}
+	k2, ok := PhaseKey(tr, 60)
+	if !ok || k2 != k {
+		t.Fatalf("night key not constant: %d vs %d", k, k2)
+	}
+}
+
+func TestPhaseKeyBlackout(t *testing.T) {
+	tr := BlackoutTrace(ConstantTrace(1), [2]units.Seconds{10, 5}, [2]units.Seconds{30, 5})
+	kw0, ok := PhaseKey(tr, 12)
+	if !ok {
+		t.Fatal("blackout window not keyable")
+	}
+	kw1, ok := PhaseKey(tr, 32)
+	if !ok {
+		t.Fatal("second blackout window not keyable")
+	}
+	if kw0 == kw1 {
+		t.Fatal("distinct windows share a key")
+	}
+	kg0, ok := PhaseKey(tr, 5)
+	if !ok {
+		t.Fatal("gap before first window not keyable")
+	}
+	kg1, ok := PhaseKey(tr, 20)
+	if !ok {
+		t.Fatal("gap between windows not keyable")
+	}
+	if kg0 == kg1 {
+		t.Fatal("distinct gaps share a key")
+	}
+	if kg0 == kw0 || kg1 == kw1 {
+		t.Fatal("gap and window share a key")
+	}
+}
+
+// TestPhaseKeyConstancySpan: wherever a key is reported, it stays
+// constant across the NextChange constancy span — the property the
+// tape layer leans on when it folds the key into a cache entry.
+func TestPhaseKeyConstancySpan(t *testing.T) {
+	traces := []Trace{
+		PWMTrace(0.3, 4),
+		BlackoutTrace(PWMTrace(0.6, 10), [2]units.Seconds{7, 3}, [2]units.Seconds{21, 2}),
+		ScaleTrace(PWMTrace(0.5, 6), ConstantTrace(0.9)),
+	}
+	for ti, tr := range traces {
+		for i := 0; i < 400; i++ {
+			at := units.Seconds(float64(i) * 0.211)
+			k, ok := PhaseKey(tr, at)
+			if !ok {
+				continue
+			}
+			h := NextChange(tr, at)
+			if h <= 1e-6 {
+				continue
+			}
+			for _, frac := range []float64{0.25, 0.5, 0.99} {
+				at2 := at + units.Seconds(frac*float64(h))
+				k2, ok2 := PhaseKey(tr, at2)
+				if !ok2 || k2 != k {
+					t.Fatalf("trace %d: key changed inside constancy span: %d@%v vs %d@%v (ok=%v, h=%v)",
+						ti, k, at, k2, at2, ok2, h)
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseKeyDelegation(t *testing.T) {
+	base := SolarPanel{PeakPower: 0.02, OpenCircuitVoltage: 4, Light: PWMTrace(0.4, 8)}
+	lk, ok := PhaseKey(base.Light, 1)
+	if !ok {
+		t.Fatal("pwm light not keyable")
+	}
+	pk, ok := PhaseKey(base, 1)
+	if !ok || pk != lk {
+		t.Fatalf("solar panel key %d (ok=%v), want light key %d", pk, ok, lk)
+	}
+	lim := Limiter{Source: base, Max: 3.5}
+	ck, ok := PhaseKey(lim, 1)
+	if !ok || ck != pk {
+		t.Fatalf("limiter key %d (ok=%v), want source key %d", ck, ok, pk)
+	}
+	m := Modulated{Source: RegulatedSupply{Max: 0.01, V: 3.3}, Trace: PWMTrace(0.4, 8)}
+	m0, ok := PhaseKey(m, 1)
+	if !ok {
+		t.Fatal("modulated over pwm not keyable")
+	}
+	m1, ok := PhaseKey(m, 9)
+	if !ok || m0 != m1 {
+		t.Fatalf("modulated key not periodic: %d@1 vs %d@9", m0, m1)
+	}
+}
+
+// FuzzPhaseKey drives the phase-key encoder over randomized PWM and
+// blackout shapes: the key must be deterministic, must agree with the
+// sampled level for PWM (key 1 ⇔ level 1), and must stay constant
+// across the NextChange constancy span whenever one is reported.
+func FuzzPhaseKey(f *testing.F) {
+	f.Add(0.42, 8.0, 10.0, 5.0, 30.0, 5.0, 12.5)
+	f.Add(0.3, 4.0, 7.0, 3.0, 21.0, 2.0, 0.0)
+	f.Add(0.99, 0.001, 0.0, 0.0, 0.0, 0.0, 1e9)
+	f.Fuzz(func(t *testing.T, duty, period, w0, d0, w1, d1, at float64) {
+		if period < 0 || period > 1e12 || at < -1e12 || at > 1e12 {
+			t.Skip()
+		}
+		clampWin := func(s, d float64) [2]units.Seconds {
+			if s < 0 {
+				s = -s
+			}
+			if d < 0 {
+				d = -d
+			}
+			if s > 1e12 {
+				s = 1e12
+			}
+			if d > 1e12 {
+				d = 1e12
+			}
+			return [2]units.Seconds{units.Seconds(s), units.Seconds(d)}
+		}
+		pwm := PWMTrace(duty, units.Seconds(period))
+		traces := []Trace{
+			pwm,
+			BlackoutTrace(pwm, clampWin(w0, d0), clampWin(w1, d1)),
+			BlackoutTrace(ConstantTrace(1), clampWin(w0, d0), clampWin(w1, d1)),
+		}
+		ts := units.Seconds(at)
+		for ti, tr := range traces {
+			k, ok := PhaseKey(tr, ts)
+			k2, ok2 := PhaseKey(tr, ts)
+			if k != k2 || ok != ok2 {
+				t.Fatalf("trace %d: PhaseKey not deterministic at %v", ti, ts)
+			}
+			if !ok {
+				continue
+			}
+			if ti == 0 {
+				if lvl := tr.Level(ts); (k == 1) != (lvl == 1) {
+					t.Fatalf("pwm key %d disagrees with level %g at %v", k, lvl, ts)
+				}
+			}
+			h := NextChange(tr, ts)
+			if h <= 1e-6 || h == Forever {
+				continue
+			}
+			mid := ts + units.Seconds(0.5*float64(h))
+			if km, okm := PhaseKey(tr, mid); !okm || km != k {
+				t.Fatalf("trace %d: key changed inside constancy span [%v, +%v)", ti, ts, h)
+			}
+		}
+	})
+}

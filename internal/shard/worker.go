@@ -33,6 +33,12 @@ type WorkerOptions struct {
 	// NoFuse disables fused task-engine stepping on this worker (fleet
 	// Config.NoFuse).
 	NoFuse bool
+	// NoCohortSpin disables cohort-shared fixed-point spins on this
+	// worker (fleet Config.NoCohortSpin).
+	NoCohortSpin bool
+	// NoPhaseKeys disables phase-keyed tapes and op-cache entries on
+	// this worker (fleet Config.NoPhaseKeys).
+	NoPhaseKeys bool
 	// BypassAfter/BypassBelow tune this worker's op-cache probation
 	// heuristic (fleet Config.BypassAfter/BypassBelow; 0 = defaults).
 	BypassAfter uint64
@@ -86,15 +92,17 @@ func Work(ctx context.Context, addr string, jobs int, opts WorkerOptions) error 
 		return fmt.Errorf("shard: protocol version mismatch: coordinator %d, worker %d", f.Job.Proto, protoVersion)
 	}
 	job, err := fleet.NewJob(f.Job.Spec.Exec(fleet.ExecOptions{
-		Jobs:        jobs,
-		NoMemo:      opts.NoMemo,
-		CacheSize:   opts.CacheSize,
-		NoRecycle:   opts.NoRecycle,
-		Batch:       opts.Batch,
-		NoVector:    opts.NoVector,
-		NoFuse:      opts.NoFuse,
-		BypassAfter: opts.BypassAfter,
-		BypassBelow: opts.BypassBelow,
+		Jobs:         jobs,
+		NoMemo:       opts.NoMemo,
+		CacheSize:    opts.CacheSize,
+		NoRecycle:    opts.NoRecycle,
+		Batch:        opts.Batch,
+		NoVector:     opts.NoVector,
+		NoFuse:       opts.NoFuse,
+		NoCohortSpin: opts.NoCohortSpin,
+		NoPhaseKeys:  opts.NoPhaseKeys,
+		BypassAfter:  opts.BypassAfter,
+		BypassBelow:  opts.BypassBelow,
 	}))
 	if err != nil {
 		fc.write(&frame{Type: msgError, Error: err.Error()})

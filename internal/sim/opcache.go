@@ -44,7 +44,7 @@ import (
 //     tickSpan powered-ness decision), so a single "powered" key bit
 //     covers its entire clock dependence — drains are cacheable under
 //     any source, including PWM/blackout scenarios.
-//   - ChargeTo is cached only when the source reports an unbounded
+//   - ChargeTo is cached when the source reports an unbounded
 //     constancy horizon (harvest.Forever) with power flowing: the whole
 //     call is then a single analytic segment whose outcome depends on
 //     the clock only through the sampled (power, voltage) pair, which
@@ -53,6 +53,20 @@ import (
 //     (units.MinAdvance) only ever lengthen a step, so a completion
 //     recorded under one deadline is the completion under every
 //     deadline it fits.
+//   - With phase keys enabled (SetPhaseKeys), ChargeTo is additionally
+//     cacheable under a *finite* constancy horizon when the source's
+//     phase regime is keyable (harvest.PhaseKey) and the charge
+//     completes strictly inside the segment it started in: the call is
+//     then still a single analytic segment — chargeSegment's elapsed
+//     when the target is reached is a sum of closed-form per-phase
+//     solves independent of the dt bound — so its outcome is again a
+//     pure function of keyed inputs. The phase key joins the entry key
+//     (separating, say, a PWM on-phase from its off-phase) and replay
+//     additionally requires the *live* horizon to cover the recorded
+//     duration (entry.dur < NextChange at the replay clock), the exact
+//     condition under which the scalar loop would have completed in
+//     its first segment too. Entries whose charge crossed a segment
+//     edge are never recorded — their splits depend on the clock.
 //   - Every report-visible accumulator (now, TimeOn, TimeOff,
 //     TimeCharging, Boots, Brownouts, Reverts) receives exactly one add
 //     per call in the scalar path; replay performs the same single add
@@ -223,6 +237,10 @@ type OpCache struct {
 	// novec disables the lockstep cursor (see DisableVector).
 	novec bool
 
+	// phaseKeys enables finite-horizon charge caching keyed on the
+	// source's phase regime (see SetPhaseKeys).
+	phaseKeys bool
+
 	// decided/bypass implement the probation policy: after opProbation
 	// cacheable calls the cache either commits to replay or bypasses —
 	// some cohorts' trajectories drift through never-repeating states
@@ -278,6 +296,14 @@ func NewOpCache(max, width int) *OpCache {
 // cursor only certifies what the key comparison would have verified) —
 // this is the A/B control behind the fleet NoVector knob.
 func (c *OpCache) DisableVector() { c.novec = true }
+
+// SetPhaseKeys enables (or disables) finite-horizon charge caching
+// keyed on the source's phase regime (see the package comment). Like
+// every cache knob it moves work between the cached and direct solve
+// paths without changing a byte of any result — the replay gate
+// re-proves segment coverage live — so it is an execution option,
+// excluded from fleet spec hashes.
+func (c *OpCache) SetPhaseKeys(on bool) { c.phaseKeys = on }
 
 // Stats returns the cache's counters.
 func (c *OpCache) Stats() OpCacheStats {
@@ -430,6 +456,9 @@ const (
 	opKeyHdr     = 13 // tag + device id + active mask
 	opDrainArgs  = 17 // load power + dt + powered bit
 	opChargeArgs = 24 // target + raw power + source voltage
+	// Phase-keyed charge entries append [phase key 8][tag 1] so the two
+	// charge key shapes can never collide byte-for-byte.
+	opChargePhaseArgs = opChargeArgs + 9
 )
 
 // vectorNext is the lockstep cursor: without serializing state or
@@ -687,12 +716,17 @@ func (d *Device) drainFast(c *OpCache, loadPower units.Power, dt units.Seconds) 
 	return sustained, ok
 }
 
-// chargeFast is ChargeTo's cached path. Only constant-forever powered
-// sources are cacheable: the whole call is then one analytic segment
-// (chargeHorizon takes the full remaining window at once), and its
-// outcome depends on the clock only through the sampled source output,
-// which is in the key. Completions are recorded; deadline-bound
-// failures are not (their outcome depends on maxWait).
+// chargeFast is ChargeTo's cached path. Constant-forever powered
+// sources are always cacheable: the whole call is then one analytic
+// segment (chargeHorizon takes the full remaining window at once), and
+// its outcome depends on the clock only through the sampled source
+// output, which is in the key. With phase keys enabled, a powered
+// source with a finite constancy horizon and a keyable phase regime is
+// cacheable too: the phase key joins the entry key, the recorded
+// completion must have fit strictly inside its segment, and replay
+// re-proves that the live segment covers it (see the package comment).
+// Completions are recorded; deadline-bound failures and edge-crossing
+// charges are not (their outcomes depend on maxWait or the clock).
 func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seconds) (units.Seconds, bool) {
 	set := d.Store()
 	// Mirror the scalar loop's first-iteration exits exactly.
@@ -704,23 +738,44 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 	}
 	src := d.Sys.Source
 	raw := d.powerAt(d.now)
-	if raw <= 0 || harvest.NextChange(src, d.now) != harvest.Forever {
-		// An outage or a time-varying source: the call's trajectory
-		// depends on where the clock sits in the source's pattern.
+	if raw <= 0 {
+		// An outage: the call waits on the source's pattern, so its
+		// trajectory depends on the absolute clock.
 		c.noteUncacheable()
 		return d.chargeSlow(target, maxWait)
+	}
+	h := harvest.NextChange(src, d.now)
+	var pk uint64
+	finite := h != harvest.Forever
+	if finite {
+		ok := c.phaseKeys && h > 0
+		if ok {
+			pk, ok = harvest.PhaseKey(src, d.now)
+		}
+		if !ok {
+			// A time-varying source with no keyable phase regime: the
+			// trajectory depends on where the clock sits in the pattern.
+			c.noteUncacheable()
+			return d.chargeSlow(target, maxWait)
+		}
+	}
+	alen := int32(opChargeArgs)
+	if finite {
+		alen = opChargePhaseArgs
 	}
 	srcV := src.VoltageAt(d.now)
 	if n, ao := c.vectorNext(d); n >= 0 {
 		e := &c.cur.ents[n]
 		key := c.cur.keys[e.koff : e.koff+e.klen]
-		if key[0] == opCharge && e.klen == ao+opChargeArgs &&
+		if key[0] == opCharge && e.klen == ao+alen &&
 			binary.LittleEndian.Uint64(key[ao:]) == math.Float64bits(float64(target)) &&
 			binary.LittleEndian.Uint64(key[ao+8:]) == math.Float64bits(float64(raw)) &&
-			binary.LittleEndian.Uint64(key[ao+16:]) == math.Float64bits(float64(srcV)) {
-			if e.dur > maxWait {
-				// Same deadline rule as the keyed path below: the
-				// recorded completion does not fit this call's window.
+			binary.LittleEndian.Uint64(key[ao+16:]) == math.Float64bits(float64(srcV)) &&
+			(!finite || binary.LittleEndian.Uint64(key[ao+24:]) == pk) {
+			if e.dur > maxWait || (finite && e.dur >= h) {
+				// Same rules as the keyed path below: the recorded
+				// completion does not fit this call's deadline window
+				// or its live constancy segment.
 				c.noteUncacheable()
 				return d.chargeSlow(target, maxWait)
 			}
@@ -747,12 +802,18 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 	k := appendBits(c.key, target)
 	k = appendBits(k, raw)
 	k = appendBits(k, srcV)
+	if finite {
+		k = binary.LittleEndian.AppendUint64(k, pk)
+		k = append(k, 1)
+	}
 	c.key = k
 	i := c.find()
-	if i >= 0 && c.cur.ents[i].dur > maxWait {
-		// The recorded completion lies beyond this call's deadline;
-		// solve directly and record nothing — a deadline-bound outcome
-		// is a function of maxWait, which is not in the key.
+	if i >= 0 && (c.cur.ents[i].dur > maxWait || (finite && c.cur.ents[i].dur >= h)) {
+		// The recorded completion lies beyond this call's deadline or
+		// its live constancy segment; solve directly and record
+		// nothing — a deadline-bound outcome is a function of maxWait,
+		// which is not in the key, and an edge-crossing outcome is a
+		// function of the clock.
 		c.noteUncacheable()
 		return d.chargeSlow(target, maxWait)
 	}
@@ -780,8 +841,14 @@ func (d *Device) chargeFast(c *OpCache, target units.Voltage, maxWait units.Seco
 	v0, t0 := set.Voltage(), d.now
 	elapsed, ok := d.chargeSlow(target, maxWait)
 	if !ok {
-		// Under a constant powered source only the deadline (or dead
-		// air) can stop the charge; neither outcome is keyable.
+		// Under a powered source only the deadline (or dead air) can
+		// stop the charge; neither outcome is keyable.
+		c.noteSolve(false)
+		return elapsed, ok
+	}
+	if finite && elapsed >= h {
+		// The charge crossed (or grazed) its segment edge: the loop
+		// split at the edge, so the effect is clock-position-dependent.
 		c.noteSolve(false)
 		return elapsed, ok
 	}

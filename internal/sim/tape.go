@@ -27,12 +27,18 @@ import (
 //
 //   - Sourced: whether any operation sampled the harvester. Continuous
 //     devices never do; their steps replay with no source evidence.
-//   - NeedForever: a ChargeTo actually entered its charge loop. Such a
-//     step is recordable only under a source with an unbounded
-//     constancy horizon (harvest.Forever) and power flowing — the same
-//     cacheability rule the OpCache uses — because a finite horizon
-//     can clip the charge loop's segment lengths at a distance that
-//     depends on the absolute clock.
+//   - NeedForever: a ChargeTo actually entered its charge loop under a
+//     source with an unbounded constancy horizon (harvest.Forever) —
+//     the OpCache's classic cacheability rule. With PhaseKeys enabled,
+//     a charge under a *finite* horizon is recordable too, provided it
+//     completed strictly inside the constancy segment it started in:
+//     such a charge is one closed-form StepSegment solve whose elapsed
+//     time and effects are independent of where the clock sits in the
+//     segment (the solve's inputs are the sampled source output and the
+//     electrical state, both in the replayer's evidence), so the step
+//     translates to any clock whose live horizon covers it. A charge
+//     that crossed a segment edge poisons the recording — its segment
+//     splits depend on the absolute clock.
 //   - MinSlack: the tightest deadline margin any ChargeTo had
 //     (maxWait − elapsed). Deadlines arrive as horizon-relative
 //     windows, so a follower shifted δ later than the leader runs the
@@ -71,23 +77,38 @@ type StepTape struct {
 	Ents []TapeEntry
 	// Sourced reports that some operation sampled the harvester.
 	Sourced bool
-	// NeedForever reports that a ChargeTo entered its charge loop, so
-	// replay requires an unbounded source-constancy horizon.
+	// NeedForever reports that a ChargeTo entered its charge loop under
+	// an unbounded constancy horizon, so replay requires one too.
 	NeedForever bool
 	// Bad marks the step unrecordable.
 	Bad bool
+	// PhaseKeys permits recording charges under finite constancy
+	// horizons when the source's phase regime is keyable (see
+	// harvest.PhaseKey); a charge must then complete strictly inside
+	// the segment it started in. Configuration, preserved by Reset.
+	PhaseKeys bool
+	// Phased reports that a finite-horizon charge completed inside its
+	// segment — the step is recordable only because PhaseKeys is on.
+	Phased bool
 	// MinSlack is the tightest ChargeTo deadline margin seen
 	// (maxWait − elapsed), +Inf when every operation was deadline-free.
 	MinSlack float64
+
+	// pendH is the live constancy horizon at the start of the
+	// finite-horizon charge currently executing (0 when none pending).
+	pendH units.Seconds
 }
 
-// Reset clears the tape for a new step, keeping backing storage.
+// Reset clears the tape for a new step, keeping backing storage and the
+// PhaseKeys configuration.
 func (t *StepTape) Reset() {
 	t.Ents = t.Ents[:0]
 	t.Sourced = false
 	t.NeedForever = false
 	t.Bad = false
+	t.Phased = false
 	t.MinSlack = math.Inf(1)
+	t.pendH = 0
 }
 
 func (t *StepTape) add(dur units.Seconds, energy float64, sel uint8) {
@@ -124,6 +145,43 @@ func (d *Device) ApplyTapeEntry(e TapeEntry) {
 	}
 }
 
+// ApplyTapeSpan applies one whole tape iteration whose end clock the
+// caller precomputed by the same sequential Dur adds ApplyTapeEntry
+// performs: assigning tEnd to the clock is then bit-identical to
+// performing the adds, and each entry's counter adds are applied in
+// recorded order with recorded values — the spin fast path for
+// templates that record no samples (nothing inside the span observes
+// intermediate clocks). prep is the boundary index where the
+// power-manager preparation finished; the returned snapshot is the
+// (TimeOn, EnergyDrawn) pair at that boundary — at the span start when
+// prep is 0 — exactly the task-profile window base the scalar engine
+// snapshots.
+func (d *Device) ApplyTapeSpan(ents []TapeEntry, prep int32, tEnd units.Seconds) (timeBefore units.Seconds, energyBefore units.Energy) {
+	timeBefore, energyBefore = d.Stats.TimeOn, d.Stats.EnergyDrawn
+	for k := range ents {
+		e := &ents[k]
+		switch e.Sel & 3 {
+		case TapeTimeOn:
+			d.Stats.TimeOn += e.Dur
+		case TapeTimeCharging:
+			d.Stats.TimeCharging += e.Dur
+		default:
+			d.Stats.TimeOff += e.Dur
+		}
+		switch e.Sel &^ 3 {
+		case TapeDrawn:
+			d.Stats.EnergyDrawn += units.Energy(e.Energy)
+		case TapeInto:
+			d.Stats.EnergyIntoStore += units.Energy(e.Energy)
+		}
+		if int32(k+1) == prep {
+			timeBefore, energyBefore = d.Stats.TimeOn, d.Stats.EnergyDrawn
+		}
+	}
+	d.now = tEnd
+	return timeBefore, energyBefore
+}
+
 // tapeChargeReplay mirrors a chargeFast cache replay's accumulator adds
 // onto the tape: one entry, with the counter selectors the replay used.
 func (d *Device) tapeChargeReplay(e *opEntry) {
@@ -155,26 +213,61 @@ func (d *Device) tapeCharge(target units.Voltage, maxWait units.Seconds) {
 		return
 	}
 	t.Sourced = true
-	if d.powerAt(d.now) <= 0 || harvest.NextChange(d.Sys.Source, d.now) != harvest.Forever {
-		// The charge trajectory depends on where the clock sits in the
-		// source's pattern (or on dead air): unrecordable.
+	if d.powerAt(d.now) <= 0 {
+		// Dead air: the charge waits on the source's pattern, so its
+		// trajectory depends on the absolute clock. Unrecordable.
 		t.Bad = true
 		return
 	}
-	t.NeedForever = true
+	h := harvest.NextChange(d.Sys.Source, d.now)
+	if h == harvest.Forever {
+		t.NeedForever = true
+		return
+	}
+	if !t.PhaseKeys || h <= 0 {
+		t.Bad = true
+		return
+	}
+	if _, ok := harvest.PhaseKey(d.Sys.Source, d.now); !ok {
+		// A finite horizon without a phase regime (opaque or
+		// continuously-varying source): templates would thrash across
+		// regimes with no key to separate them.
+		t.Bad = true
+		return
+	}
+	// Finite-horizon charge: recordable iff it completes strictly
+	// inside this constancy segment (checked in tapeChargeDone).
+	t.pendH = h
 }
 
 // tapeChargeDone records a completed ChargeTo's deadline margin; a
 // deadline-bound failure poisons the recording (its outcome is a
-// function of maxWait, which shifts with the replayer's clock).
+// function of maxWait, which shifts with the replayer's clock), as does
+// a finite-horizon charge that ran to or past its segment edge (its
+// segment splits depend on the absolute clock).
 func (d *Device) tapeChargeDone(maxWait, elapsed units.Seconds, ok bool) {
 	t := d.Tape
-	if t == nil || t.Bad || elapsed == 0 {
+	if t == nil {
+		return
+	}
+	pendH := t.pendH
+	t.pendH = 0
+	if t.Bad || elapsed == 0 {
 		return
 	}
 	if !ok {
 		t.Bad = true
 		return
+	}
+	if pendH > 0 {
+		if elapsed >= pendH {
+			// Crossed (or grazed) the segment edge: the charge loop
+			// split at the edge, so its entries are
+			// clock-position-dependent.
+			t.Bad = true
+			return
+		}
+		t.Phased = true
 	}
 	if slack := float64(maxWait - elapsed); slack < t.MinSlack {
 		t.MinSlack = slack

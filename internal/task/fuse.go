@@ -141,6 +141,20 @@ type FuseStats struct {
 	// Splits counts fused→scalar streak breaks; Merges the reverse.
 	Splits uint64
 	Merges uint64
+	// Spins counts fixed-point spins entered (>= 1 iteration applied);
+	// SpinShared the subset that reused a spin plan an earlier cohort
+	// member already built (the cross-device fold); SpinIters the total
+	// iterations applied inside spins.
+	Spins      uint64
+	SpinShared uint64
+	SpinIters  uint64
+	// PhaseKeyed counts steps that computed a keyable source phase
+	// regime on the slow path (keyed lookup or recording; hint-cursor
+	// replays never pay the computation). PhaseHits counts replays of
+	// templates holding a finite-horizon charge — the replays that
+	// exist only because phase keys are on.
+	PhaseKeyed uint64
+	PhaseHits  uint64
 }
 
 // FusedRate returns the fraction of eligible steps served by replay.
@@ -160,6 +174,34 @@ func (s FuseStats) HintRate() float64 {
 	return float64(s.Hint) / float64(s.Replays)
 }
 
+// CohortSpinRate returns the fraction of fixed-point spins that reused
+// a spin plan built by an earlier member of the cohort.
+func (s FuseStats) CohortSpinRate() float64 {
+	if s.Spins == 0 {
+		return 0
+	}
+	return float64(s.SpinShared) / float64(s.Spins)
+}
+
+// SpinFold returns the mean number of spins folded onto one shared
+// plan: total spins over plans built (spins that could not reuse one).
+func (s FuseStats) SpinFold() float64 {
+	built := s.Spins - s.SpinShared
+	if built == 0 {
+		return 0
+	}
+	return float64(s.Spins) / float64(built)
+}
+
+// PhaseHitRate returns the fraction of replays served by templates
+// holding a finite-horizon charge (possible only with phase keys on).
+func (s FuseStats) PhaseHitRate() float64 {
+	if s.Replays == 0 {
+		return 0
+	}
+	return float64(s.PhaseHits) / float64(s.Replays)
+}
+
 // Add accumulates o into s.
 func (s *FuseStats) Add(o FuseStats) {
 	s.Steps += o.Steps
@@ -170,6 +212,11 @@ func (s *FuseStats) Add(o FuseStats) {
 	s.Bypassed += o.Bypassed
 	s.Splits += o.Splits
 	s.Merges += o.Merges
+	s.Spins += o.Spins
+	s.SpinShared += o.SpinShared
+	s.SpinIters += o.SpinIters
+	s.PhaseKeyed += o.PhaseKeyed
+	s.PhaseHits += o.PhaseHits
 }
 
 // wordRead, blobRead, and chanRead are one recorded NV read each: the
@@ -225,18 +272,39 @@ type fuseTemplate struct {
 
 	draws uint32
 
-	dBoots, dBrown, dReverts  int32
-	dReconfigs, dPrecharges   int32
-	dLeak, dShare             units.Energy
+	dBoots, dBrown, dReverts int32
+	dReconfigs, dPrecharges  int32
+	dLeak, dShare            units.Energy
 
 	// Source evidence, valid when sourced: output bits at the step
-	// start, whether a charge loop ran (needForever), and the
-	// MinAdvance ULP regime spanning the step.
+	// start, whether a charge loop ran under an unbounded horizon
+	// (needForever), and the MinAdvance ULP regime spanning the step.
 	sourced     bool
 	needForever bool
 	pBits       uint64
 	vBits       uint64
 	ulp         float64
+
+	// phase is the source's phase-regime key at the step start
+	// (fuseNoPhase when unkeyable or phase keys are off). It joins the
+	// template key so, e.g., a PWM on-phase step and an off-phase step
+	// at the same electrical state occupy separate slots instead of
+	// overwrite-thrashing one. A key, not evidence: replay re-verifies
+	// the source bits and horizons regardless.
+	phase uint64
+	// phased marks a tape holding a finite-horizon charge — a recording
+	// that exists only because phase keys are on (sim.StepTape.Phased).
+	// Diagnostic only (FuseStats.PhaseHits).
+	phased bool
+
+	// regimeEnd/planOK cache the spin plan's ULP-regime bound, computed
+	// once per template and shared by every cohort member spinning it:
+	// replay evidence pins MinAdvance(t0) == ulp, MinAdvance's level
+	// sets are single intervals, and ulp is fixed per template, so the
+	// regime's end is the same instant for every member (see
+	// fuseSpinBoundShared).
+	regimeEnd units.Seconds
+	planOK    bool
 
 	// selfFix marks a bit-exact fixed point: an alive self-transition
 	// whose post-step electrical state equals its pre-step state and
@@ -261,6 +329,7 @@ type stepRecording struct {
 
 	name  string
 	alive byte
+	phase uint64
 
 	preVals []float64
 	preMask uint64
@@ -398,14 +467,35 @@ type StepFuser struct {
 	bypass bool
 	stats  FuseStats
 
+	// noPhaseKeys disables phase-keyed tapes: finite-horizon charges
+	// become unrecordable again (the stage-3 behavior) and template
+	// keys carry a zero phase. noCohortSpin disables the cohort-shared
+	// spin machinery: spins fall back to the per-device stage-3 bound
+	// (Forever sources only, no cached plan, per-entry apply).
+	noPhaseKeys  bool
+	noCohortSpin bool
+
 	keyBuf   []byte
 	stateBuf []float64
 }
+
+// fuseNoPhase is the phase slot for steps with no keyable regime.
+const fuseNoPhase = ^uint64(0)
 
 // NewStepFuser returns an empty fuser.
 func NewStepFuser() *StepFuser {
 	return &StepFuser{index: make(map[string]int32), last: -1}
 }
+
+// DisablePhaseKeys turns phase-keyed tapes off (see noPhaseKeys). Like
+// every fuser knob it only moves steps between the replay and scalar
+// paths — reports are byte-identical either way — so it is an execution
+// option, excluded from fleet spec hashes.
+func (f *StepFuser) DisablePhaseKeys() { f.noPhaseKeys = true }
+
+// DisableCohortSpin turns cohort-shared spins off (see noCohortSpin);
+// an execution option with the same byte-identity contract.
+func (f *StepFuser) DisableCohortSpin() { f.noCohortSpin = true }
 
 // BeginDevice marks a device seam: the split/merge streak resets, the
 // chain cursor survives.
@@ -447,12 +537,14 @@ func aliveByte(alive bool) byte {
 	return 0
 }
 
-// key packs a template key: task name, alive bit, array mask, and the
-// full electrical state bits.
-func (f *StepFuser) key(name string, alive byte, vals []float64, mask uint64) []byte {
+// key packs a template key: task name, alive bit, phase regime, array
+// mask, and the full electrical state bits.
+func (f *StepFuser) key(name string, alive byte, phase uint64, vals []float64, mask uint64) []byte {
 	k := append(f.keyBuf[:0], name...)
 	k = append(k, 0, alive)
 	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], phase)
+	k = append(k, b[:]...)
 	binary.LittleEndian.PutUint64(b[:], mask)
 	k = append(k, b[:]...)
 	for _, v := range vals {
@@ -463,25 +555,50 @@ func (f *StepFuser) key(name string, alive byte, vals []float64, mask uint64) []
 	return k
 }
 
+// phaseKey computes the source's phase regime key at the device's
+// current clock, fuseNoPhase when keys are off or the regime is
+// unkeyable. Deliberately called only on the slow path (keyed lookup,
+// record arming): the hint cursor carries the template's own phase and
+// every replay re-verifies the live evidence, so the common case never
+// pays the source walk.
+func (f *StepFuser) phaseKey(d *sim.Device) uint64 {
+	if f.noPhaseKeys {
+		return fuseNoPhase
+	}
+	if k, ok := harvest.PhaseKey(d.Sys.Source, d.Now()); ok {
+		f.stats.PhaseKeyed++
+		return k
+	}
+	return fuseNoPhase
+}
+
 // lookup resolves the template for the device's current state: chain
-// cursor first (verified live with MatchState), keyed map second. The
-// third result reports a chain-cursor hit.
-func (f *StepFuser) lookup(d *sim.Device, name string, alive byte) (*fuseTemplate, int32, bool) {
+// cursor first (verified live with MatchState — the cursor needs no
+// phase check because the phase key is a map discriminator, not
+// evidence; a wrong-regime proposal fails the replay's live pBits
+// check), keyed map second, with the phase regime folded into the map
+// key so distinct regimes of a periodic source occupy distinct slots.
+// The third result reports a chain-cursor hit; the last two return the
+// phase key when the slow path computed it (pkOK), so the caller can
+// arm a recording without recomputing.
+func (f *StepFuser) lookup(d *sim.Device, name string, alive byte) (*fuseTemplate, int32, bool, uint64, bool) {
 	if f.last >= 0 {
 		if n := f.tpls[f.last].succ; n >= 0 {
 			tp := &f.tpls[n]
-			if tp.name == name && tp.alive == alive && d.Array.MatchState(tp.preVals, tp.preMask) {
-				return tp, n, true
+			if tp.name == name && tp.alive == alive &&
+				d.Array.MatchState(tp.preVals, tp.preMask) {
+				return tp, n, true, fuseNoPhase, false
 			}
 		}
 	}
+	pk := f.phaseKey(d)
 	var mask uint64
 	f.stateBuf, mask = d.Array.AppendState(f.stateBuf[:0])
-	key := f.key(name, alive, f.stateBuf, mask)
+	key := f.key(name, alive, pk, f.stateBuf, mask)
 	if i, ok := f.index[string(key)]; ok {
-		return &f.tpls[i], i, false
+		return &f.tpls[i], i, false, pk, true
 	}
-	return nil, -1, false
+	return nil, -1, false, pk, true
 }
 
 // noteFused records a replayed step: streak accounting plus teaching
@@ -512,7 +629,7 @@ func (f *StepFuser) noteScalar() {
 // same key (the evidence regime may have moved, e.g. across a ULP
 // boundary), and links it into the chain.
 func (f *StepFuser) put(tpl fuseTemplate) {
-	key := f.key(tpl.name, tpl.alive, tpl.preVals, tpl.preMask)
+	key := f.key(tpl.name, tpl.alive, tpl.phase, tpl.preVals, tpl.preMask)
 	i, ok := f.index[string(key)]
 	switch {
 	case ok:
@@ -559,17 +676,27 @@ func (e *Engine) fuseTry(f *StepFuser, name string, alive bool, horizon units.Se
 		return false
 	}
 	ab := aliveByte(alive)
-	if tpl, idx, hint := f.lookup(d, name, ab); tpl != nil {
+	tpl, idx, hint, pk, pkOK := f.lookup(d, name, ab)
+	if tpl != nil {
 		if e.fuseReplay(f, tpl, pmc, horizon) {
 			if hint {
 				f.stats.Hint++
+			}
+			if tpl.phased {
+				f.stats.PhaseHits++
 			}
 			f.noteFused(idx)
 			return true
 		}
 	}
+	if !pkOK {
+		// The hint cursor proposed a template but its evidence failed
+		// (for a periodic source, typically a regime edge): compute the
+		// live phase now so the recording lands in the right slot.
+		pk = f.phaseKey(d)
+	}
 	f.noteScalar()
-	e.fuseArm(name, ab, pmc)
+	e.fuseArm(name, ab, pk, pmc)
 	return false
 }
 
@@ -655,21 +782,7 @@ func (e *Engine) fuseReplay(f *StepFuser, tpl *fuseTemplate, pmc CounterSource, 
 	// strictly inside the bound (the per-step horizon, ULP-regime,
 	// quiet-range, and source-constancy conditions all reduce to it).
 	if tpl.selfFix {
-		if bound, ok := e.fuseSpinBound(tpl, horizon); ok {
-			for {
-				t := d.Now()
-				for i := range tpl.ents {
-					t += tpl.ents[i].Dur
-				}
-				if !(t < bound) {
-					break
-				}
-				f.stats.Steps++
-				f.stats.Replays++
-				f.stats.Hint++
-				e.fuseApplyStep(tpl, prof, rc, pc)
-			}
-		}
+		e.fuseSpin(f, tpl, prof, rc, pc, horizon)
 	}
 
 	d.Array.RestoreState(tpl.postVals, tpl.postMask)
@@ -726,13 +839,135 @@ func (e *Engine) fuseApplyStep(tpl *fuseTemplate, prof *TaskProfile, rc, pc *int
 	prof.Energy += d.Stats.EnergyDrawn - energyBefore
 }
 
+// fuseSpin runs a selfFix template's fixed-point spin after the first
+// replay iteration was applied. With cohort spins enabled the bound
+// comes from fuseSpinBoundShared — which caches the template's
+// ULP-regime bound so every later cohort member entering the same spin
+// reuses the plan instead of re-walking binades — and sample-free
+// templates take the fused apply path (sim.ApplyTapeSpan): the end
+// clock predicted by the bound test's sequential adds is assigned
+// directly, leaving one set of counter adds per iteration. With cohort
+// spins disabled, the stage-3 per-device bound and per-entry apply run
+// instead. Byte-identical either way: an iteration is applied only when
+// its predicted end stays strictly inside the bound, and the predicted
+// end is produced by the exact float-add sequence per-entry apply would
+// perform.
+func (e *Engine) fuseSpin(f *StepFuser, tpl *fuseTemplate, prof *TaskProfile, rc, pc *int, horizon units.Seconds) {
+	d := e.Dev
+	var bound units.Seconds
+	var ok, shared bool
+	if f.noCohortSpin {
+		bound, ok = e.fuseSpinBound(tpl, horizon)
+	} else {
+		bound, ok, shared = e.fuseSpinBoundShared(tpl, horizon)
+	}
+	if !ok {
+		return
+	}
+	fast := !f.noCohortSpin && len(tpl.samples) == 0
+	var iters uint64
+	for {
+		t := d.Now()
+		for i := range tpl.ents {
+			t += tpl.ents[i].Dur
+		}
+		if !(t < bound) {
+			break
+		}
+		f.stats.Steps++
+		f.stats.Replays++
+		f.stats.Hint++
+		iters++
+		if fast {
+			timeBefore, energyBefore := d.ApplyTapeSpan(tpl.ents, tpl.prepEnts, t)
+			d.Array.LeakLoss += tpl.dLeak
+			d.Array.ShareLoss += tpl.dShare
+			d.Array.Reverts += int(tpl.dReverts)
+			d.Stats.Boots += int(tpl.dBoots)
+			d.Stats.Brownouts += int(tpl.dBrown)
+			*rc += int(tpl.dReconfigs)
+			*pc += int(tpl.dPrecharges)
+			prof.Runs++
+			prof.Time += d.Stats.TimeOn - timeBefore
+			prof.Energy += d.Stats.EnergyDrawn - energyBefore
+		} else {
+			e.fuseApplyStep(tpl, prof, rc, pc)
+		}
+	}
+	if iters > 0 {
+		f.stats.Spins++
+		f.stats.SpinIters += iters
+		if shared {
+			f.stats.SpinShared++
+		}
+		if tpl.phased {
+			f.stats.PhaseHits += iters
+		}
+	}
+}
+
+// fuseSpinBoundShared is the cohort-spin bound: like fuseSpinBound it
+// returns the exclusive clock bound below which every per-step evidence
+// check is guaranteed to pass, but it additionally (a) admits sources
+// with a finite constancy horizon — the live span, stepped down one ULP
+// so float rounding of its end can never admit an instant past the true
+// edge, becomes one more min() term — and (b) caches the ULP-regime
+// bound on the template. The cache is sound across cohort members:
+// replay evidence pinned MinAdvance == tpl.ulp at this clock,
+// MinAdvance is non-decreasing so its level sets are single intervals,
+// and tpl.ulp is fixed — every member spinning this template sits in
+// the same regime interval, whose end is one shared instant. The third
+// result reports that a previously built plan was reused.
+func (e *Engine) fuseSpinBoundShared(tpl *fuseTemplate, horizon units.Seconds) (units.Seconds, bool, bool) {
+	d := e.Dev
+	t0 := d.Now()
+	bound := horizon
+	shared := false
+	if tpl.sourced {
+		h := harvest.NextChange(d.Sys.Source, t0)
+		if tpl.needForever {
+			if h != harvest.Forever {
+				return 0, false, false
+			}
+		} else if h != harvest.Forever {
+			if h <= 0 {
+				return 0, false, false
+			}
+			if end := units.Seconds(math.Nextafter(float64(t0+h), math.Inf(-1))); end < bound {
+				bound = end
+			}
+		}
+		if tpl.planOK {
+			shared = true
+		} else {
+			tpl.regimeEnd = ulpRegimeEnd(t0, units.Seconds(tpl.ulp))
+			tpl.planOK = tpl.regimeEnd > 0
+			if !tpl.planOK {
+				return 0, false, false
+			}
+		}
+		if tpl.regimeEnd < bound {
+			bound = tpl.regimeEnd
+		}
+	}
+	qb, ok := e.FuseSched.(QuietBounder)
+	if !ok {
+		return 0, false, false
+	}
+	if q := qb.QuietBound(t0); q < bound {
+		bound = q
+	}
+	return bound, true, shared
+}
+
 // fuseSpinBound computes the exclusive clock bound below which every
 // per-step evidence check is guaranteed to pass for further iterations
 // of a selfFix template, starting from the engine's current clock (the
 // end of the iteration just applied). Returns ok=false when no sound
 // bound exists — a time-varying source, or a schedule that cannot
 // answer span queries — in which case the caller falls back to
-// per-step replay through the Run loop.
+// per-step replay through the Run loop. This is the stage-3 per-device
+// bound, kept verbatim as the NoCohortSpin control path.
 func (e *Engine) fuseSpinBound(tpl *fuseTemplate, horizon units.Seconds) (units.Seconds, bool) {
 	d := e.Dev
 	t0 := d.Now()
@@ -784,12 +1019,13 @@ func ulpRegimeEnd(t0, ma units.Seconds) units.Seconds {
 
 // fuseArm attaches a fresh recording to the device for the scalar step
 // about to execute.
-func (e *Engine) fuseArm(name string, alive byte, pmc CounterSource) {
+func (e *Engine) fuseArm(name string, alive byte, phase uint64, pmc CounterSource) {
 	d := e.Dev
 	r := &e.fuseRecStore
 	r.dead = false
 	r.name = name
 	r.alive = alive
+	r.phase = phase
 	r.preVals, r.preMask = d.Array.AppendState(r.preVals[:0])
 	r.t0 = d.Now()
 	r.prepEnts = 0
@@ -808,6 +1044,7 @@ func (e *Engine) fuseArm(name string, alive byte, pmc CounterSource) {
 	r.blobBuf = r.blobBuf[:0]
 	r.chans = r.chans[:0]
 	r.tape.Reset()
+	r.tape.PhaseKeys = !e.Fuse.noPhaseKeys
 	e.fuseRec = r
 	d.Tape = &r.tape
 }
@@ -892,6 +1129,8 @@ func (e *Engine) fuseFinalize(name, next string) {
 		name:        name,
 		nextTask:    next,
 		alive:       r.alive,
+		phase:       r.phase,
+		phased:      r.tape.Phased,
 		preMask:     r.preMask,
 		preVals:     append([]float64(nil), r.preVals...),
 		ents:        append([]sim.TapeEntry(nil), r.tape.Ents...),
